@@ -1,0 +1,64 @@
+//===- bench/BenchUtil.h - Shared experiment harness helpers ----*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/table bench binaries: run the full
+/// Kremlin pipeline over a paper benchmark, map its MANUAL plan to region
+/// ids, and evaluate plans on the machine model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_BENCH_BENCHUTIL_H
+#define KREMLIN_BENCH_BENCHUTIL_H
+
+#include "driver/KremlinDriver.h"
+#include "machine/ExecutionSimulator.h"
+#include "suite/PaperSuite.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace kremlin::bench {
+
+/// One fully profiled paper benchmark.
+struct BenchRun {
+  std::string Name;
+  GeneratedBenchmark Generated;
+  DriverResult Result;
+  /// MANUAL plan as region ids (mapped from generated loop lines).
+  std::vector<RegionId> ManualPlan;
+
+  const Module &module() const { return *Result.M; }
+  const ParallelismProfile &profile() const { return *Result.Profile; }
+  const Plan &kremlinPlan() const { return Result.ThePlan; }
+};
+
+/// Profiles one paper benchmark and maps its MANUAL plan. Exits the
+/// process on pipeline errors (bench binaries must not silently lie).
+inline BenchRun runPaperBenchmark(const std::string &Name,
+                                  DriverOptions Opts = DriverOptions()) {
+  BenchRun Run;
+  Run.Name = Name;
+  Run.Generated = generatePaperBenchmark(Name);
+  KremlinDriver Driver(std::move(Opts));
+  Run.Result =
+      Driver.runOnSource(Run.Generated.Source, Name + ".c");
+  if (!Run.Result.succeeded()) {
+    for (const std::string &E : Run.Result.Errors)
+      std::fprintf(stderr, "[%s] %s\n", Name.c_str(), E.c_str());
+    std::exit(1);
+  }
+  Run.ManualPlan = loopRegionsAtLines(Run.module(),
+                                      Run.Generated.manualLines());
+  return Run;
+}
+
+} // namespace kremlin::bench
+
+#endif // KREMLIN_BENCH_BENCHUTIL_H

@@ -1,0 +1,71 @@
+//===- bench/bench_fig6a_plan_size.cpp - Figure 6(a) ----------------------===//
+//
+// Regenerates Figure 6(a): plan-size comparison between the third-party
+// MANUAL parallelization and Kremlin's plan, per benchmark — MANUAL size,
+// Kremlin size, overlap, and the MANUAL/Kremlin reduction factor. Paper
+// values are printed alongside for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+using namespace kremlin;
+using namespace kremlin::bench;
+
+int main() {
+  std::printf("Figure 6(a): plan size comparison (measured vs paper)\n\n");
+  TablePrinter Table;
+  Table.setHeader({"Benchmark", "MANUAL", "Kremlin", "Overlap", "Reduction",
+                   "paper:M", "paper:K", "paper:O"});
+
+  unsigned TotalManual = 0, TotalKremlin = 0, TotalOverlap = 0;
+  unsigned PaperManual = 0, PaperKremlin = 0, PaperOverlap = 0;
+  for (const std::string &Name : paperBenchmarkNames()) {
+    BenchRun Run = runPaperBenchmark(Name);
+    std::set<RegionId> Manual(Run.ManualPlan.begin(), Run.ManualPlan.end());
+    std::set<RegionId> Kremlin;
+    for (const PlanItem &I : Run.kremlinPlan().Items)
+      Kremlin.insert(I.Region);
+    unsigned Overlap = 0;
+    for (RegionId R : Kremlin)
+      Overlap += Manual.count(R);
+
+    PaperFacts Facts = paperFacts(Name);
+    TotalManual += Manual.size();
+    TotalKremlin += Kremlin.size();
+    TotalOverlap += Overlap;
+    PaperManual += Facts.ManualPlanSize;
+    PaperKremlin += Facts.KremlinPlanSize;
+    PaperOverlap += Facts.Overlap;
+
+    double Reduction = Kremlin.empty()
+                           ? 0.0
+                           : static_cast<double>(Manual.size()) /
+                                 static_cast<double>(Kremlin.size());
+    Table.addRow({Name, formatString("%zu", Manual.size()),
+                  formatString("%zu", Kremlin.size()),
+                  formatString("%u", Overlap), formatFactor(Reduction),
+                  formatString("%u", Facts.ManualPlanSize),
+                  formatString("%u", Facts.KremlinPlanSize),
+                  formatString("%u", Facts.Overlap)});
+  }
+  Table.addSeparator();
+  Table.addRow({"Overall", formatString("%u", TotalManual),
+                formatString("%u", TotalKremlin),
+                formatString("%u", TotalOverlap),
+                formatFactor(static_cast<double>(TotalManual) /
+                             std::max(1u, TotalKremlin)),
+                formatString("%u", PaperManual),
+                formatString("%u", PaperKremlin),
+                formatString("%u", PaperOverlap)});
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\npaper overall: MANUAL 211, Kremlin 134, overlap 116, "
+              "reduction 1.57x\n");
+  return 0;
+}

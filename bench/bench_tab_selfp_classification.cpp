@@ -1,0 +1,63 @@
+//===- bench/bench_tab_selfp_classification.cpp - §6.2 --------------------===//
+//
+// Regenerates the §6.2 "Effectiveness of Self-Parallelism Metric"
+// experiment: classify every candidate region in the suite as high/low
+// parallelism against the 5.0 threshold, once by classic total-parallelism
+// (work/cp) and once by self-parallelism. The paper: 2535 regions,
+// total-parallelism flags 25.8% as low, self-parallelism 58.9% (a 2.28x
+// reduction in parallelism false positives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace kremlin;
+using namespace kremlin::bench;
+
+int main() {
+  std::printf("Section 6.2: self-parallelism vs total-parallelism "
+              "classification (threshold 5.0)\n\n");
+  TablePrinter Table;
+  Table.setHeader({"Benchmark", "regions", "low by TP", "low by SP"});
+
+  const double Threshold = 5.0;
+  uint64_t Total = 0, LowTp = 0, LowSp = 0;
+  for (const std::string &Name : paperBenchmarkNames()) {
+    BenchRun Run = runPaperBenchmark(Name);
+    uint64_t N = 0, Tp = 0, Sp = 0;
+    for (const RegionProfileEntry &E : Run.profile().entries()) {
+      const StaticRegion &R = Run.module().Regions[E.Id];
+      if (R.Kind == RegionKind::Body)
+        continue;
+      ++N;
+      // Unexecuted regions have no observed parallelism at all.
+      if (!E.Executed || E.TotalParallelism < Threshold)
+        ++Tp;
+      if (!E.Executed || E.SelfParallelism < Threshold)
+        ++Sp;
+    }
+    Total += N;
+    LowTp += Tp;
+    LowSp += Sp;
+    Table.addRow({Name, formatString("%llu", (unsigned long long)N),
+                  formatString("%llu", (unsigned long long)Tp),
+                  formatString("%llu", (unsigned long long)Sp)});
+  }
+  Table.addSeparator();
+  Table.addRow({"total", formatString("%llu", (unsigned long long)Total),
+                formatString("%llu (%.1f%%)", (unsigned long long)LowTp,
+                             100.0 * LowTp / Total),
+                formatString("%llu (%.1f%%)", (unsigned long long)LowSp,
+                             100.0 * LowSp / Total)});
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\nself-parallelism flags %.2fx more regions as "
+              "low-parallelism than total-parallelism\n",
+              static_cast<double>(LowSp) / static_cast<double>(LowTp));
+  std::printf("paper: 2535 regions; low by total-parallelism 25.8%%, low by "
+              "self-parallelism 58.9%% (2.28x)\n");
+  return 0;
+}

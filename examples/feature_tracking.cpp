@@ -1,0 +1,56 @@
+//===- examples/feature_tracking.cpp - the paper's running example --------===//
+//
+// Reproduces the paper's two motivating figures on the SD-VBS feature
+// tracking workload:
+//
+//  - Figure 2: in the fillFeatures nest, only the innermost k loop is
+//    parallel; classic CPA reports parallelism in every enclosing loop
+//    (the localization failure), while HCPA's self-parallelism pins it to
+//    the right level.
+//  - Figure 3: the Kremlin UI — an ordered plan whose top entries are the
+//    imageBlur loops, with the low-self-parallelism getInterpPatch loop
+//    still ranked third by coverage.
+//
+// Build & run:  ./build/examples/feature_tracking
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/KremlinDriver.h"
+#include "suite/PaperSuite.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace kremlin;
+
+int main() {
+  KremlinDriver Driver;
+  DriverResult Result = Driver.runOnSource(trackingSource(), "tracking.c");
+  if (!Result.succeeded()) {
+    for (const std::string &E : Result.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
+  std::printf("== Figure 3: the ordered parallelism plan ==\n\n");
+  std::fputs(printPlan(*Result.M, Result.ThePlan, 8).c_str(), stdout);
+
+  // Figure 2: find the fillFeatures nest and contrast total-parallelism
+  // (classic CPA) with self-parallelism (HCPA) at each level.
+  std::printf("\n== Figure 2: localizing parallelism in fillFeatures ==\n\n");
+  std::printf("%-28s %14s %14s\n", "region", "total-par (CPA)",
+              "self-par (HCPA)");
+  for (const RegionProfileEntry &E : Result.Profile->entries()) {
+    const StaticRegion &R = Result.M->Regions[E.Id];
+    if (!E.Executed || R.Kind != RegionKind::Loop)
+      continue;
+    if (Result.M->Functions[R.Func].Name != "fillFeatures")
+      continue;
+    std::printf("%-28s %14.1f %14.1f\n", R.sourceSpan().c_str(),
+                E.TotalParallelism, E.SelfParallelism);
+  }
+  std::printf("\nClassic CPA sees parallelism in the outer i/j loops too "
+              "(it leaks up from the k loop);\nself-parallelism shows only "
+              "the innermost k loop is actually parallel.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- examples/planner_personalities.cpp - one profile, four planners ----===//
+//
+// Shows planner personalities (paper §5) on a single profile: the same
+// NPB-style benchmark planned by the OpenMP personality (no nesting, DP
+// selection, paper thresholds), the Cilk++ personality (nesting-friendly,
+// lower thresholds), and the two Figure 9 baselines (gprof-style work
+// list, work + self-parallelism filter). Each plan is then evaluated on
+// the 32-core machine model.
+//
+// Build & run:  ./build/examples/planner_personalities
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/KremlinDriver.h"
+#include "machine/ExecutionSimulator.h"
+#include "suite/PaperSuite.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kremlin;
+
+int main() {
+  GeneratedBenchmark GB = generatePaperBenchmark("ft");
+  KremlinDriver Driver;
+  DriverResult Result = Driver.runOnSource(GB.Source, "ft.c");
+  if (!Result.succeeded()) {
+    for (const std::string &E : Result.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+  ExecutionSimulator Sim(*Result.Profile);
+
+  std::printf("benchmark 'ft': %u candidate regions, %llu units of work\n\n",
+              Result.M->numCandidateRegions(),
+              static_cast<unsigned long long>(
+                  Result.Profile->programWork()));
+
+  TablePrinter Table;
+  Table.setHeader({"personality", "plan size", "est. speedup",
+                   "simulated x", "best cores"});
+  for (const char *Name : {"openmp", "cilk", "selfp", "work"}) {
+    Plan P = Driver.replan(Result, Driver.options().Planner, Name);
+    SimOutcome Out = Sim.evaluatePlan(P.regionIds());
+    Table.addRow({Name, formatString("%zu", P.Items.size()),
+                  formatFactor(P.EstProgramSpeedup),
+                  formatFactor(Out.speedup()),
+                  formatString("%u", Out.BestCores)});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\nThe gprof-style 'work' list is long and full of serial "
+              "regions; adding the\nself-parallelism filter shrinks it; the "
+              "full OpenMP personality leaves a\nshort, machine-aware plan "
+              "(Figure 9's three bars).\n\nOpenMP plan:\n");
+  std::fputs(printPlan(*Result.M, Result.ThePlan, 8).c_str(), stdout);
+  return 0;
+}

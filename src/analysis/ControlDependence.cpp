@@ -1,0 +1,52 @@
+//===- analysis/ControlDependence.cpp -------------------------------------===//
+
+#include "analysis/ControlDependence.h"
+
+#include <algorithm>
+
+using namespace kremlin;
+
+bool ControlDependenceInfo::isControlDependent(BlockId B,
+                                               BlockId OnBranch) const {
+  if (B >= Deps.size())
+    return false;
+  return std::binary_search(Deps[B].begin(), Deps[B].end(), OnBranch);
+}
+
+ControlDependenceInfo
+kremlin::computeControlDependence(const Function &F) {
+  ControlDependenceInfo Info;
+  size_t N = F.Blocks.size();
+  Info.Deps.assign(N, {});
+  Info.MergeBlock.assign(N, NoBlock);
+
+  DomTree PDT = computePostDominators(F);
+  for (BlockId BB = 0; BB < N; ++BB)
+    Info.MergeBlock[BB] = immediatePostDominator(PDT, F, BB);
+
+  // Ferrante-Ottenstein-Warren: for edge A->S where A does not strictly
+  // post-dominate... walk from S up the post-dominator tree until reaching
+  // ipostdom(A); every node visited is control dependent on A.
+  for (BlockId A = 0; A < N; ++A) {
+    std::vector<BlockId> Succs = F.successors(A);
+    if (Succs.size() < 2)
+      continue; // Only branches create control dependences.
+    BlockId Stop = PDT.idom(A);
+    for (BlockId S : Succs) {
+      BlockId Runner = S;
+      while (Runner != Stop && Runner != NoBlock &&
+             Runner < Info.Deps.size()) {
+        Info.Deps[Runner].push_back(A);
+        BlockId Next = PDT.idom(Runner);
+        if (Next == Runner)
+          break;
+        Runner = Next;
+      }
+    }
+  }
+  for (std::vector<BlockId> &D : Info.Deps) {
+    std::sort(D.begin(), D.end());
+    D.erase(std::unique(D.begin(), D.end()), D.end());
+  }
+  return Info;
+}

@@ -1,0 +1,320 @@
+//===- analysis/Induction.cpp ---------------------------------------------===//
+
+#include "analysis/Induction.h"
+
+#include <map>
+#include <set>
+
+using namespace kremlin;
+
+namespace {
+
+/// Location of one instruction.
+struct InstRef {
+  BlockId BB = NoBlock;
+  uint32_t Idx = 0;
+};
+
+/// Helper with the per-function def maps the patterns need.
+class Marker {
+public:
+  Marker(Function &F, const LoopInfo &LI) : F(F), LI(LI) {
+    for (BlockId BB = 0; BB < F.Blocks.size(); ++BB)
+      for (uint32_t I = 0; I < F.Blocks[BB].Insts.size(); ++I) {
+        const Instruction &Inst = F.Blocks[BB].Insts[I];
+        if (producesValue(Inst.Op) && Inst.Result != NoValue)
+          Defs[Inst.Result].push_back({BB, I});
+      }
+  }
+
+  InductionMarkResult run() {
+    for (const Loop &L : LI.Loops) {
+      markScalarUpdates(L);
+      markMemoryReductions(L);
+    }
+    return Result;
+  }
+
+private:
+  Function &F;
+  const LoopInfo &LI;
+  std::map<ValueId, std::vector<InstRef>> Defs;
+  InductionMarkResult Result;
+
+  Instruction &inst(InstRef R) { return F.Blocks[R.BB].Insts[R.Idx]; }
+
+  /// All defs of \p V whose block is inside loop \p L.
+  std::vector<InstRef> defsInLoop(ValueId V, const Loop &L) {
+    std::vector<InstRef> Out;
+    auto It = Defs.find(V);
+    if (It == Defs.end())
+      return Out;
+    for (InstRef R : It->second)
+      if (L.contains(R.BB))
+        Out.push_back(R);
+    return Out;
+  }
+
+  /// True when \p V is invariant with respect to \p L: all its defs are
+  /// outside the loop, or its single in-loop def is a constant.
+  bool isInvariant(ValueId V, const Loop &L) {
+    std::vector<InstRef> InLoop = defsInLoop(V, L);
+    if (InLoop.empty())
+      return true;
+    if (InLoop.size() > 1)
+      return false;
+    Opcode Op = inst(InLoop[0]).Op;
+    return Op == Opcode::ConstInt || Op == Opcode::ConstFloat;
+  }
+
+  /// True when \p V's in-loop def chains can read \p Banned. Worklist walk
+  /// with a visited set (def chains cycle through loop-carried variables);
+  /// conservatively true if the walk grows past a size bound.
+  bool dependsOn(ValueId V, ValueId Banned, const Loop &L) {
+    if (V == Banned)
+      return true;
+    std::set<ValueId> Visited;
+    std::vector<ValueId> Work = {V};
+    Visited.insert(V);
+    while (!Work.empty()) {
+      if (Visited.size() > 512)
+        return true; // Give up conservatively on huge chains.
+      ValueId Cur = Work.back();
+      Work.pop_back();
+      for (InstRef R : defsInLoop(Cur, L)) {
+        const Instruction &I = inst(R);
+        auto Visit = [&](ValueId Next) {
+          if (Next == NoValue)
+            return false;
+          if (Next == Banned)
+            return true;
+          if (Visited.insert(Next).second)
+            Work.push_back(Next);
+          return false;
+        };
+        if (Visit(I.A) || Visit(I.B))
+          return true;
+        for (ValueId Arg : I.CallArgs)
+          if (Visit(Arg))
+            return true;
+      }
+    }
+    return false;
+  }
+
+  static bool isReductionOpcode(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool isCommutative(Opcode Op) {
+    return Op == Opcode::Add || Op == Opcode::Mul || Op == Opcode::FAdd ||
+           Op == Opcode::FMul;
+  }
+
+  static bool isAdditive(Opcode Op) {
+    return Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::FAdd ||
+           Op == Opcode::FSub;
+  }
+  static bool isMultiplicative(Opcode Op) {
+    return Op == Opcode::Mul || Op == Opcode::FMul;
+  }
+
+  /// Descends from \p Cur through a chain of same-group associative ops
+  /// (additive: +,-; multiplicative: *) looking for the instruction that
+  /// reads \p V directly — `s = s + x + y` accumulates through
+  /// ((s + x) + y), so the accumulator read may be several ops deep. All
+  /// sibling operands passed on the way are collected for an
+  /// independence-of-v check. Returns nullptr if no such op exists.
+  Instruction *findAccumulatorOp(ValueId Cur, ValueId V, bool Additive,
+                                 const Loop &L, unsigned Depth,
+                                 std::vector<ValueId> &Siblings) {
+    if (Depth == 0)
+      return nullptr;
+    std::vector<InstRef> CurDefs = defsInLoop(Cur, L);
+    if (CurDefs.size() != 1)
+      return nullptr;
+    Instruction &I = inst(CurDefs[0]);
+    if (!isReductionOpcode(I.Op) ||
+        (Additive ? !isAdditive(I.Op) : !isMultiplicative(I.Op)))
+      return nullptr;
+    // Direct hit: one operand is the accumulator. For subtraction only the
+    // left side accumulates (s = x - s is not a reduction).
+    if (I.A == V) {
+      Siblings.push_back(I.B);
+      return &I;
+    }
+    if (I.B == V && isCommutative(I.Op)) {
+      std::swap(I.A, I.B); // Normalize: accumulator is operand A.
+      Siblings.push_back(I.B);
+      return &I;
+    }
+    // Descend: through A always; through B only for commutative ops.
+    size_t Mark = Siblings.size();
+    Siblings.push_back(I.B);
+    if (Instruction *Found =
+            findAccumulatorOp(I.A, V, Additive, L, Depth - 1, Siblings))
+      return Found;
+    Siblings.resize(Mark);
+    if (isCommutative(I.Op)) {
+      Siblings.push_back(I.A);
+      if (Instruction *Found =
+              findAccumulatorOp(I.B, V, Additive, L, Depth - 1, Siblings))
+        return Found;
+      Siblings.resize(Mark);
+    }
+    return nullptr;
+  }
+
+  /// Scalar patterns: the single in-loop def of v is Move(v <- t) where t's
+  /// def chain accumulates v through associative ops.
+  void markScalarUpdates(const Loop &L) {
+    // Group in-loop Move defs by destination variable register.
+    for (auto &[V, AllDefs] : Defs) {
+      (void)AllDefs;
+      std::vector<InstRef> InLoop = defsInLoop(V, L);
+      if (InLoop.size() != 1)
+        continue;
+      Instruction &MoveInst = inst(InLoop[0]);
+      if (MoveInst.Op != Opcode::Move)
+        continue;
+      ValueId T = MoveInst.A;
+      std::vector<InstRef> TDefs = defsInLoop(T, L);
+      if (TDefs.size() != 1)
+        continue;
+      bool Additive = isAdditive(inst(TDefs[0]).Op);
+      std::vector<ValueId> Siblings;
+      Instruction *Acc =
+          findAccumulatorOp(T, V, Additive, L, /*Depth=*/8, Siblings);
+      if (!Acc)
+        continue;
+      Instruction &OpInst = *Acc;
+      // Every non-accumulator input must be independent of v, or this is a
+      // genuine recurrence that must not be broken.
+      bool Recurrence = false;
+      for (ValueId Sibling : Siblings)
+        if (dependsOn(Sibling, V, L)) {
+          Recurrence = true;
+          break;
+        }
+      if (Recurrence)
+        continue;
+      // Induction iff the whole update is an integer-additive chain with
+      // loop-invariant steps; anything else that accumulates is a
+      // reduction.
+      bool StepInvariant = true;
+      for (ValueId Sibling : Siblings)
+        if (!isInvariant(Sibling, L)) {
+          StepInvariant = false;
+          break;
+        }
+      bool IsAdditive =
+          Additive && (OpInst.Op == Opcode::Add || OpInst.Op == Opcode::Sub);
+      if (StepInvariant && IsAdditive) {
+        if (!OpInst.IsInductionUpdate) {
+          OpInst.IsInductionUpdate = true;
+          ++Result.NumInductionUpdates;
+        }
+        // The copy back into the variable is part of the same update: if it
+        // kept its control dependence, the loop test would re-serialize
+        // through it. Break it as well.
+        MoveInst.IsInductionUpdate = true;
+      } else if (!OpInst.IsReductionUpdate) {
+        OpInst.IsReductionUpdate = true;
+        ++Result.NumReductionUpdates;
+      }
+    }
+  }
+
+  /// Structural equality of two address-computation chains. Leaves compare
+  /// by register identity, constant value, or global/frame array id. Loads
+  /// compare by address-chain equality (the caller guarantees there is no
+  /// intervening store, because both chains were emitted while lowering one
+  /// assignment statement).
+  bool sameValueChain(ValueId A, ValueId B, unsigned Depth) {
+    if (A == B)
+      return true;
+    if (Depth == 0 || A == NoValue || B == NoValue)
+      return false;
+    auto ItA = Defs.find(A), ItB = Defs.find(B);
+    if (ItA == Defs.end() || ItB == Defs.end())
+      return false;
+    if (ItA->second.size() != 1 || ItB->second.size() != 1)
+      return false;
+    const Instruction &IA = inst(ItA->second[0]);
+    const Instruction &IB = inst(ItB->second[0]);
+    if (IA.Op != IB.Op)
+      return false;
+    switch (IA.Op) {
+    case Opcode::ConstInt:
+      return IA.IntImm == IB.IntImm;
+    case Opcode::ConstFloat:
+      return IA.FloatImm == IB.FloatImm;
+    case Opcode::GlobalAddr:
+    case Opcode::FrameAddr:
+      return IA.Aux == IB.Aux;
+    case Opcode::Load:
+      return sameValueChain(IA.A, IB.A, Depth - 1);
+    default:
+      if (isBinaryOp(IA.Op))
+        return sameValueChain(IA.A, IB.A, Depth - 1) &&
+               sameValueChain(IA.B, IB.B, Depth - 1);
+      if (isUnaryOp(IA.Op))
+        return sameValueChain(IA.A, IB.A, Depth - 1);
+      return false;
+    }
+  }
+
+  /// Memory reduction: Store(addr, t) where t = Op(load(addr'), e) and
+  /// addr' computes the same address as addr.
+  void markMemoryReductions(const Loop &L) {
+    for (BlockId BB : L.Blocks) {
+      for (Instruction &Store : F.Blocks[BB].Insts) {
+        if (Store.Op != Opcode::Store)
+          continue;
+        std::vector<InstRef> ValDefs = defsInLoop(Store.B, L);
+        if (ValDefs.size() != 1)
+          continue;
+        Instruction &OpInst = inst(ValDefs[0]);
+        if (!isReductionOpcode(OpInst.Op) || OpInst.IsReductionUpdate ||
+            OpInst.IsInductionUpdate)
+          continue;
+
+        auto LoadMatches = [&](ValueId Operand) {
+          std::vector<InstRef> LDefs = defsInLoop(Operand, L);
+          if (LDefs.size() != 1)
+            return false;
+          const Instruction &LoadInst = inst(LDefs[0]);
+          if (LoadInst.Op != Opcode::Load)
+            return false;
+          return sameValueChain(LoadInst.A, Store.A, /*Depth=*/16);
+        };
+
+        if (LoadMatches(OpInst.A)) {
+          OpInst.IsReductionUpdate = true;
+          ++Result.NumMemoryReductions;
+        } else if (isCommutative(OpInst.Op) && LoadMatches(OpInst.B)) {
+          std::swap(OpInst.A, OpInst.B);
+          OpInst.IsReductionUpdate = true;
+          ++Result.NumMemoryReductions;
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+InductionMarkResult kremlin::markInductionAndReductions(Function &F,
+                                                        const LoopInfo &LI) {
+  return Marker(F, LI).run();
+}

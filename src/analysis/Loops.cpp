@@ -1,0 +1,94 @@
+//===- analysis/Loops.cpp -------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace kremlin;
+
+bool Loop::contains(BlockId B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+int LoopInfo::innermostLoop(BlockId B) const {
+  int Best = -1;
+  unsigned BestDepth = 0;
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    if (Loops[I].contains(B) && Loops[I].Depth >= BestDepth) {
+      Best = static_cast<int>(I);
+      BestDepth = Loops[I].Depth;
+    }
+  }
+  return Best;
+}
+
+LoopInfo kremlin::computeLoops(const Function &F) {
+  LoopInfo LI;
+  size_t N = F.Blocks.size();
+  DomTree DT = computeDominators(F);
+
+  std::vector<std::vector<BlockId>> Preds(N);
+  for (BlockId BB = 0; BB < N; ++BB)
+    for (BlockId S : F.successors(BB))
+      Preds[S].push_back(BB);
+
+  // Collect back edges grouped by header.
+  std::map<BlockId, std::vector<BlockId>> BackEdges;
+  for (BlockId BB = 0; BB < N; ++BB) {
+    if (!DT.isReachable(BB))
+      continue;
+    for (BlockId S : F.successors(BB))
+      if (DT.dominates(S, BB))
+        BackEdges[S].push_back(BB);
+  }
+
+  for (auto &[Header, Latches] : BackEdges) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+    // Body: reverse reachability from latches, stopping at the header.
+    std::set<BlockId> Body = {Header};
+    std::vector<BlockId> Work;
+    for (BlockId Latch : Latches)
+      if (Body.insert(Latch).second)
+        Work.push_back(Latch);
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId P : Preds[B])
+        if (DT.isReachable(P) && Body.insert(P).second)
+          Work.push_back(P);
+    }
+    L.Blocks.assign(Body.begin(), Body.end());
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B when B contains A's header and A != B.
+  // Pick the smallest such container as the parent.
+  for (size_t I = 0; I < LI.Loops.size(); ++I) {
+    size_t BestSize = SIZE_MAX;
+    for (size_t J = 0; J < LI.Loops.size(); ++J) {
+      if (I == J)
+        continue;
+      if (!LI.Loops[J].contains(LI.Loops[I].Header))
+        continue;
+      if (LI.Loops[J].Blocks.size() < BestSize) {
+        BestSize = LI.Loops[J].Blocks.size();
+        LI.Loops[I].Parent = static_cast<int>(J);
+      }
+    }
+  }
+  // Depths via parent chains.
+  for (Loop &L : LI.Loops) {
+    unsigned Depth = 1;
+    int P = L.Parent;
+    while (P >= 0) {
+      ++Depth;
+      P = LI.Loops[static_cast<size_t>(P)].Parent;
+    }
+    L.Depth = Depth;
+  }
+  return LI;
+}

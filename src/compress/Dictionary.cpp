@@ -1,0 +1,73 @@
+//===- compress/Dictionary.cpp --------------------------------------------===//
+
+#include "compress/Dictionary.h"
+
+using namespace kremlin;
+
+static inline size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t DictionaryCompressor::SummaryHash::operator()(
+    const DynRegionSummary &S) const {
+  size_t H = std::hash<uint64_t>()(S.Static);
+  H = hashCombine(H, std::hash<uint64_t>()(S.Work));
+  H = hashCombine(H, std::hash<uint64_t>()(S.Cp));
+  for (const auto &[C, Freq] : S.Children) {
+    H = hashCombine(H, std::hash<uint64_t>()(C));
+    H = hashCombine(H, std::hash<uint64_t>()(Freq));
+  }
+  return H;
+}
+
+SummaryChar DictionaryCompressor::intern(DynRegionSummary Summary) {
+  ++DynRegions;
+  auto It = Index.find(Summary);
+  if (It != Index.end())
+    return It->second;
+  SummaryChar C = static_cast<SummaryChar>(Alphabet.size());
+  Index.emplace(Summary, C);
+  Alphabet.push_back(std::move(Summary));
+  return C;
+}
+
+void DictionaryCompressor::onRootExit(SummaryChar Root) {
+  for (auto &[C, Count] : Roots) {
+    if (C == Root) {
+      ++Count;
+      return;
+    }
+  }
+  Roots.emplace_back(Root, 1);
+}
+
+std::vector<uint64_t> DictionaryCompressor::computeMultiplicities() const {
+  std::vector<uint64_t> Mult(Alphabet.size(), 0);
+  for (const auto &[Root, Count] : Roots)
+    Mult[Root] += Count;
+  // Children always have smaller characters than their parents, so one
+  // descending pass propagates counts through the whole DAG.
+  for (size_t C = Alphabet.size(); C-- > 0;) {
+    if (Mult[C] == 0)
+      continue;
+    for (const auto &[Child, Freq] : Alphabet[C].Children)
+      Mult[Child] += Mult[C] * Freq;
+  }
+  return Mult;
+}
+
+uint64_t DictionaryCompressor::compressedBytes() const {
+  uint64_t Bytes = 0;
+  for (const DynRegionSummary &S : Alphabet)
+    Bytes += RawRecordBytes + S.Children.size() * 2 * sizeof(uint64_t);
+  Bytes += Roots.size() * 2 * sizeof(uint64_t);
+  return Bytes;
+}
+
+double DictionaryCompressor::compressionRatio() const {
+  uint64_t Compressed = compressedBytes();
+  if (Compressed == 0)
+    return 1.0;
+  return static_cast<double>(rawTraceBytes()) /
+         static_cast<double>(Compressed);
+}

@@ -1,0 +1,87 @@
+//===- compress/Dictionary.h - Compressed trace dictionary ------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online dictionary compression of paper §4.4. When a dynamic region
+/// exits, its tuple (static region, critical path, work, children) is
+/// looked up in the current alphabet of unique summaries: a hit reuses the
+/// existing character, a miss appends one. Children are expressed as sorted
+/// (character, frequency) pairs over the existing alphabet, so the alphabet
+/// necessarily grows from leaf regions toward main.
+///
+/// The planner never decompresses: every analysis (multiplicity counting,
+/// self-parallelism, aggregation) walks the alphabet directly, each entry
+/// standing for potentially millions of dynamic regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_COMPRESS_DICTIONARY_H
+#define KREMLIN_COMPRESS_DICTIONARY_H
+
+#include "rt/RegionSummary.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace kremlin {
+
+/// Sizes a raw (uncompressed) trace record: one fixed header per dynamic
+/// region, the shape a naive profiler log would write.
+inline constexpr uint64_t RawRecordBytes = 3 * sizeof(uint64_t);
+
+/// The RegionSummarySink used for real profiling runs: interns summaries
+/// into an alphabet and tracks compression statistics.
+class DictionaryCompressor : public RegionSummarySink {
+public:
+  SummaryChar intern(DynRegionSummary Summary) override;
+  void onRootExit(SummaryChar Root) override;
+
+  /// The alphabet: every unique dynamic-region summary, in interning order
+  /// (children always precede parents).
+  const std::vector<DynRegionSummary> &alphabet() const { return Alphabet; }
+
+  /// Root characters (whole-program summaries) with occurrence counts.
+  const std::vector<std::pair<SummaryChar, uint64_t>> &roots() const {
+    return Roots;
+  }
+
+  /// Occurrence count of every alphabet entry in the (virtual) full trace,
+  /// computed by one top-down pass over the alphabet — the "process each
+  /// character instead of each dynamic region" trick of §4.4.
+  std::vector<uint64_t> computeMultiplicities() const;
+
+  /// Total dynamic regions summarized (intern calls).
+  uint64_t numDynamicRegions() const { return DynRegions; }
+
+  /// Bytes a raw, uncompressed region-summary log would occupy.
+  uint64_t rawTraceBytes() const { return DynRegions * RawRecordBytes; }
+
+  /// Bytes of the compressed representation (alphabet + child lists +
+  /// root table).
+  uint64_t compressedBytes() const;
+
+  /// rawTraceBytes() / compressedBytes().
+  double compressionRatio() const;
+
+  /// Restores the dynamic-region count when deserializing a trace whose
+  /// interning already counted each alphabet entry once.
+  void setDynamicRegions(uint64_t Count) { DynRegions = Count; }
+
+private:
+  struct SummaryHash {
+    size_t operator()(const DynRegionSummary &S) const;
+  };
+
+  std::vector<DynRegionSummary> Alphabet;
+  std::unordered_map<DynRegionSummary, SummaryChar, SummaryHash> Index;
+  std::vector<std::pair<SummaryChar, uint64_t>> Roots;
+  uint64_t DynRegions = 0;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_COMPRESS_DICTIONARY_H

@@ -1,0 +1,127 @@
+//===- compress/TraceIO.cpp -----------------------------------------------===//
+
+#include "compress/TraceIO.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace kremlin;
+
+std::string kremlin::writeTrace(const DictionaryCompressor &Dict) {
+  std::string Out = "kremlin-trace 1\n";
+  Out += formatString("regions %zu\n", Dict.alphabet().size());
+  for (const DynRegionSummary &S : Dict.alphabet()) {
+    Out += formatString("entry %u %llu %llu %zu", S.Static,
+                        static_cast<unsigned long long>(S.Work),
+                        static_cast<unsigned long long>(S.Cp),
+                        S.Children.size());
+    for (const auto &[C, Freq] : S.Children)
+      Out += formatString(" %u %llu", C,
+                          static_cast<unsigned long long>(Freq));
+    Out += '\n';
+  }
+  for (const auto &[Root, Count] : Dict.roots())
+    Out += formatString("root %u %llu\n", Root,
+                        static_cast<unsigned long long>(Count));
+  Out += formatString("dynregions %llu\n",
+                      static_cast<unsigned long long>(
+                          Dict.numDynamicRegions()));
+  return Out;
+}
+
+TraceReadResult kremlin::readTrace(const std::string &Text) {
+  TraceReadResult Result;
+  std::istringstream In(Text);
+  std::string Keyword;
+  unsigned Version = 0;
+  if (!(In >> Keyword >> Version) || Keyword != "kremlin-trace" ||
+      Version != 1) {
+    Result.Error = "not a kremlin-trace v1 file";
+    return Result;
+  }
+  size_t NumEntries = 0;
+  if (!(In >> Keyword >> NumEntries) || Keyword != "regions") {
+    Result.Error = "missing regions header";
+    return Result;
+  }
+  uint64_t SeenDynRegions = 0;
+  for (size_t E = 0; E < NumEntries; ++E) {
+    DynRegionSummary S;
+    size_t NumChildren = 0;
+    if (!(In >> Keyword >> S.Static >> S.Work >> S.Cp >> NumChildren) ||
+        Keyword != "entry") {
+      Result.Error = formatString("malformed entry %zu", E);
+      return Result;
+    }
+    for (size_t C = 0; C < NumChildren; ++C) {
+      SummaryChar Child = 0;
+      uint64_t Freq = 0;
+      if (!(In >> Child >> Freq)) {
+        Result.Error = formatString("malformed children of entry %zu", E);
+        return Result;
+      }
+      if (Child >= E) {
+        // Alphabet grows leaves-first: a child must precede its parent.
+        Result.Error = formatString(
+            "entry %zu references later/self character %u", E, Child);
+        return Result;
+      }
+      S.Children.emplace_back(Child, Freq);
+    }
+    SummaryChar Interned = Result.Dict.intern(std::move(S));
+    ++SeenDynRegions;
+    if (Interned != E) {
+      Result.Error = formatString("duplicate alphabet entry %zu", E);
+      return Result;
+    }
+  }
+  // Roots and the dynamic-region count.
+  while (In >> Keyword) {
+    if (Keyword == "root") {
+      SummaryChar Root = 0;
+      uint64_t Count = 0;
+      if (!(In >> Root >> Count) || Root >= Result.Dict.alphabet().size()) {
+        Result.Error = "malformed root line";
+        return Result;
+      }
+      for (uint64_t I = 0; I < Count; ++I)
+        Result.Dict.onRootExit(Root);
+    } else if (Keyword == "dynregions") {
+      uint64_t Total = 0;
+      if (!(In >> Total) || Total < SeenDynRegions) {
+        Result.Error = "malformed dynregions line";
+        return Result;
+      }
+      Result.Dict.setDynamicRegions(Total);
+    } else {
+      Result.Error = "unknown keyword '" + Keyword + "'";
+      return Result;
+    }
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+bool kremlin::writeTraceFile(const DictionaryCompressor &Dict,
+                             const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << writeTrace(Dict);
+  return static_cast<bool>(Out);
+}
+
+TraceReadResult kremlin::readTraceFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    TraceReadResult Result;
+    Result.Error = "cannot open '" + Path + "'";
+    return Result;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return readTrace(SS.str());
+}

@@ -1,0 +1,56 @@
+//===- compress/TraceIO.h - Compressed trace (de)serialization --*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of the compressed parallelism profile — the "parallelism
+/// profile" output file of the paper's Figure 4. The instrumented run
+/// writes one of these; the planner consumes it later (and can aggregate
+/// several, §2.4: "Kremlin supports aggregation of data from multiple
+/// runs").
+///
+/// The format is a line-oriented text format:
+///
+///   kremlin-trace 1
+///   regions <count>
+///   entry <static> <work> <cp> <nchildren> (<char> <freq>)...
+///   root <char> <count>
+///   dynregions <count>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_COMPRESS_TRACEIO_H
+#define KREMLIN_COMPRESS_TRACEIO_H
+
+#include "compress/Dictionary.h"
+
+#include <string>
+
+namespace kremlin {
+
+/// Serializes \p Dict to the text trace format.
+std::string writeTrace(const DictionaryCompressor &Dict);
+
+/// Result of parsing a trace.
+struct TraceReadResult {
+  bool Ok = false;
+  std::string Error;
+  DictionaryCompressor Dict;
+};
+
+/// Parses a trace produced by writeTrace(). Validates structure (children
+/// must reference earlier characters — the leaves-first alphabet property).
+TraceReadResult readTrace(const std::string &Text);
+
+/// Convenience: writeTrace() to a file. Returns false on I/O failure.
+bool writeTraceFile(const DictionaryCompressor &Dict,
+                    const std::string &Path);
+
+/// Convenience: readTrace() from a file.
+TraceReadResult readTraceFile(const std::string &Path);
+
+} // namespace kremlin
+
+#endif // KREMLIN_COMPRESS_TRACEIO_H

@@ -1,0 +1,67 @@
+//===- driver/KremlinDriver.cpp -------------------------------------------===//
+
+#include "driver/KremlinDriver.h"
+
+#include "ir/Verifier.h"
+#include "parser/Lower.h"
+
+using namespace kremlin;
+
+DriverResult KremlinDriver::runOnSource(std::string_view Source,
+                                        std::string Name) {
+  LowerResult LR = compileMiniC(Source, std::move(Name));
+  if (!LR.succeeded()) {
+    DriverResult Result;
+    Result.Errors = std::move(LR.Errors);
+    Result.M = std::move(LR.M);
+    return Result;
+  }
+  return runOnModule(std::move(LR.M));
+}
+
+DriverResult KremlinDriver::runOnModule(std::unique_ptr<Module> M) {
+  DriverResult Result;
+  Result.M = std::move(M);
+
+  std::vector<std::string> Problems = verifyModule(*Result.M);
+  if (!Problems.empty()) {
+    for (std::string &P : Problems)
+      Result.Errors.push_back("verifier: " + std::move(P));
+    return Result;
+  }
+
+  // Static instrumentation (kremlin-cc).
+  Result.Instrument = instrumentModule(*Result.M);
+
+  // Profiled execution (the instrumented binary + KremLib).
+  Result.Dict = std::make_unique<DictionaryCompressor>();
+  KremlinRuntime RT(Opts.Runtime, *Result.Dict);
+  Interpreter Interp(*Result.M, Opts.Interp);
+  Result.Exec = Interp.run(&RT);
+  if (!Result.Exec.Ok) {
+    Result.Errors.push_back("execution failed: " + Result.Exec.Error);
+    return Result;
+  }
+
+  // Profile + plan.
+  Result.Profile =
+      std::make_unique<ParallelismProfile>(*Result.M, *Result.Dict);
+  std::unique_ptr<Personality> P = makePersonality(Opts.PersonalityName);
+  if (!P) {
+    Result.Errors.push_back("unknown personality '" + Opts.PersonalityName +
+                            "'");
+    return Result;
+  }
+  Result.ThePlan = P->plan(*Result.Profile, Opts.Planner);
+  return Result;
+}
+
+Plan KremlinDriver::replan(const DriverResult &Result,
+                           const PlannerOptions &NewOpts,
+                           const std::string &PersonalityName) const {
+  std::unique_ptr<Personality> P = makePersonality(
+      PersonalityName.empty() ? Opts.PersonalityName : PersonalityName);
+  if (!P || !Result.Profile)
+    return Plan();
+  return P->plan(*Result.Profile, NewOpts);
+}

@@ -1,0 +1,87 @@
+//===- driver/KremlinDriver.h - End-to-end pipeline --------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end Kremlin pipeline of Figure 4: source -> static
+/// instrumentation -> profiled execution (shadow-memory HCPA) -> compressed
+/// parallelism profile -> planner -> ordered parallelism plan. This is the
+/// programmatic equivalent of:
+///
+///   $> make CC=kremlin-cc
+///   $> ./tracking data
+///   $> kremlin tracking --personality=openmp
+///
+//======---------------------------------------------------------------------===//
+
+#ifndef KREMLIN_DRIVER_KREMLINDRIVER_H
+#define KREMLIN_DRIVER_KREMLINDRIVER_H
+
+#include "compress/Dictionary.h"
+#include "instrument/Instrumenter.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "planner/Personality.h"
+#include "profile/ParallelismProfile.h"
+#include "rt/KremlinRuntime.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kremlin {
+
+/// Pipeline configuration.
+struct DriverOptions {
+  KremlinConfig Runtime;
+  InterpConfig Interp;
+  PlannerOptions Planner;
+  /// "openmp", "cilk", "work", or "selfp".
+  std::string PersonalityName = "openmp";
+};
+
+/// Everything one pipeline run produces. Check succeeded() before using
+/// the analysis products.
+struct DriverResult {
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M;
+  InstrumentResult Instrument;
+  ExecResult Exec;
+  std::unique_ptr<DictionaryCompressor> Dict;
+  std::unique_ptr<ParallelismProfile> Profile;
+  Plan ThePlan;
+
+  bool succeeded() const { return Errors.empty(); }
+};
+
+/// Runs the Kremlin pipeline.
+class KremlinDriver {
+public:
+  explicit KremlinDriver(DriverOptions Opts = DriverOptions())
+      : Opts(std::move(Opts)) {}
+
+  const DriverOptions &options() const { return Opts; }
+  DriverOptions &options() { return Opts; }
+
+  /// Full pipeline from MiniC source.
+  DriverResult runOnSource(std::string_view Source, std::string Name);
+
+  /// Full pipeline from an already-lowered (uninstrumented) module.
+  DriverResult runOnModule(std::unique_ptr<Module> M);
+
+  /// Re-plans an existing result under different planner settings (the
+  /// exclusion-list workflow: no re-profiling needed). Returns the new
+  /// plan.
+  Plan replan(const DriverResult &Result, const PlannerOptions &NewOpts,
+              const std::string &PersonalityName = "") const;
+
+private:
+  DriverOptions Opts;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_DRIVER_KREMLINDRIVER_H

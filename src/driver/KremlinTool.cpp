@@ -1,0 +1,159 @@
+//===- driver/KremlinTool.cpp - The kremlin command-line tool -------------===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end mirroring the paper's Figure 3 workflow:
+//
+//   kremlin prog.c --personality=openmp            profile + print the plan
+//   kremlin prog.c --profile                       also dump per-region rows
+//   kremlin prog.c --dump-ir                       compile + instrument only
+//   kremlin prog.c --exclude=12,17                 exclusion-list replanning
+//   kremlin --bench=ft                             run a suite benchmark
+//
+//===----------------------------------------------------------------------===//
+
+#include "compress/TraceIO.h"
+#include "driver/KremlinDriver.h"
+#include "ir/IRPrinter.h"
+#include "parser/Lower.h"
+#include "suite/PaperSuite.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace kremlin;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kremlin (<source.c> | --bench=<name> | --tracking) [options]\n"
+      "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
+      "  --exclude=<id,id,...>                    exclude region ids, replan\n"
+      "  --min-sp=<f>                             self-parallelism cutoff\n"
+      "  --rows=<n>                               plan rows to print\n"
+      "  --profile                                dump per-region profile\n"
+      "  --save-trace=<path>                      write the compressed trace\n"
+      "  --dump-ir                                print instrumented IR\n"
+      "  --stats                                  runtime/compression stats\n");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Source;
+  std::string SourceName;
+  DriverOptions Opts;
+  bool DumpIR = false, DumpProfile = false, DumpStats = false;
+  std::string SaveTracePath;
+  size_t Rows = 25;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
+    if (Arg.rfind("--bench=", 0) == 0) {
+      GeneratedBenchmark GB = generatePaperBenchmark(Value());
+      Source = GB.Source;
+      SourceName = GB.Name + ".c";
+    } else if (Arg == "--tracking") {
+      Source = trackingSource();
+      SourceName = "tracking.c";
+    } else if (Arg.rfind("--personality=", 0) == 0) {
+      Opts.PersonalityName = Value();
+    } else if (Arg.rfind("--exclude=", 0) == 0) {
+      for (const std::string &Tok : splitString(Value(), ','))
+        if (!Tok.empty())
+          Opts.Planner.Excluded.insert(
+              static_cast<RegionId>(std::strtoul(Tok.c_str(), nullptr, 10)));
+    } else if (Arg.rfind("--min-sp=", 0) == 0) {
+      Opts.Planner.MinSelfParallelism = std::strtod(Value().c_str(), nullptr);
+    } else if (Arg.rfind("--rows=", 0) == 0) {
+      Rows = std::strtoul(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--save-trace=", 0) == 0) {
+      SaveTracePath = Value();
+    } else if (Arg == "--profile") {
+      DumpProfile = true;
+    } else if (Arg == "--dump-ir") {
+      DumpIR = true;
+    } else if (Arg == "--stats") {
+      DumpStats = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      if (!readFile(Arg, Source)) {
+        std::fprintf(stderr, "kremlin: cannot read '%s'\n", Arg.c_str());
+        return 1;
+      }
+      SourceName = Arg;
+    } else {
+      std::fprintf(stderr, "kremlin: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    }
+  }
+  if (Source.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  if (DumpIR) {
+    LowerResult LR = compileMiniC(Source, SourceName);
+    for (const std::string &E : LR.Errors)
+      std::fprintf(stderr, "%s\n", E.c_str());
+    if (!LR.succeeded())
+      return 1;
+    instrumentModule(*LR.M);
+    std::fputs(printModule(*LR.M).c_str(), stdout);
+    return 0;
+  }
+
+  KremlinDriver Driver(Opts);
+  DriverResult Result = Driver.runOnSource(Source, SourceName);
+  for (const std::string &E : Result.Errors)
+    std::fprintf(stderr, "kremlin: %s\n", E.c_str());
+  if (!Result.succeeded())
+    return 1;
+
+  if (!SaveTracePath.empty()) {
+    if (!writeTraceFile(*Result.Dict, SaveTracePath)) {
+      std::fprintf(stderr, "kremlin: cannot write trace to '%s'\n",
+                   SaveTracePath.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", SaveTracePath.c_str());
+  }
+  if (DumpProfile)
+    std::fputs(Result.Profile->toText().c_str(), stdout);
+  if (DumpStats) {
+    std::printf("dynamic instructions : %llu\n",
+                static_cast<unsigned long long>(Result.Exec.DynInstructions));
+    std::printf("dynamic regions      : %llu\n",
+                static_cast<unsigned long long>(
+                    Result.Dict->numDynamicRegions()));
+    std::printf("raw trace size       : %s\n",
+                formatBytes(Result.Dict->rawTraceBytes()).c_str());
+    std::printf("compressed size      : %s (%.0fx)\n",
+                formatBytes(Result.Dict->compressedBytes()).c_str(),
+                Result.Dict->compressionRatio());
+  }
+  std::fputs(printPlan(*Result.M, Result.ThePlan, Rows).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- instrument/Instrumenter.cpp ----------------------------------------===//
+
+#include "instrument/Instrumenter.h"
+
+#include "analysis/ControlDependence.h"
+#include "analysis/Induction.h"
+#include "analysis/Loops.h"
+#include "support/StringUtils.h"
+
+using namespace kremlin;
+
+InstrumentResult kremlin::instrumentModule(Module &M) {
+  InstrumentResult Result;
+  for (Function &F : M.Functions) {
+    if (F.Blocks.empty())
+      continue;
+
+    // Control-dependence merge blocks.
+    ControlDependenceInfo CDI = computeControlDependence(F);
+    for (BlockId BB = 0; BB < F.Blocks.size(); ++BB) {
+      Instruction &Term = F.Blocks[BB].Insts.back();
+      if (Term.Op != Opcode::CondBr)
+        continue;
+      ++Result.NumCondBranches;
+      BlockId Computed = CDI.MergeBlock[BB];
+      if (Term.MergeBlock == NoBlock) {
+        Term.MergeBlock = Computed;
+      } else if (Term.MergeBlock != Computed && Computed != NoBlock) {
+        Result.Warnings.push_back(formatString(
+            "@%s bb%u: frontend merge block bb%u differs from post-dominator "
+            "bb%u; using the analysis result",
+            F.Name.c_str(), BB, Term.MergeBlock, Computed));
+        Term.MergeBlock = Computed;
+      }
+    }
+
+    // Induction / reduction marking.
+    LoopInfo LI = computeLoops(F);
+    InductionMarkResult IMR = markInductionAndReductions(F, LI);
+    Result.NumInductionUpdates += IMR.NumInductionUpdates;
+    Result.NumReductionUpdates += IMR.NumReductionUpdates;
+    Result.NumMemoryReductions += IMR.NumMemoryReductions;
+
+    // Attribute reduction updates to their innermost enclosing Loop region
+    // so the planner can charge reduction overhead.
+    for (const BasicBlock &BB : F.Blocks) {
+      for (const Instruction &I : BB.Insts) {
+        if (!I.IsReductionUpdate)
+          continue;
+        RegionId R = I.EnclosingRegion;
+        while (R != NoRegion && M.Regions[R].Kind != RegionKind::Loop)
+          R = M.Regions[R].Parent;
+        if (R != NoRegion)
+          M.Regions[R].HasReduction = true;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- instrument/Instrumenter.h - Static instrumentation pass --*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kremlin-cc equivalent (paper §3, "Static Instrumentation"): prepares
+/// a lowered module for HCPA profiling. The frontend already placed
+/// RegionEnter/RegionExit markers; this pass adds everything that requires
+/// whole-function static analysis:
+///
+///  - control-dependence merge blocks on every CondBr (computed from the
+///    post-dominator tree; validates values the structured frontend filled
+///    in);
+///  - induction- and reduction-variable update flags (the "easy-to-break
+///    dependence" rule of §4.1).
+///
+/// The paper performs these statically in LLVM precisely because they are
+/// hard in dynamic-only infrastructures; the same division of labor is kept
+/// here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_INSTRUMENT_INSTRUMENTER_H
+#define KREMLIN_INSTRUMENT_INSTRUMENTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+/// Summary of one instrumentation run.
+struct InstrumentResult {
+  unsigned NumInductionUpdates = 0;
+  unsigned NumReductionUpdates = 0;
+  unsigned NumMemoryReductions = 0;
+  unsigned NumCondBranches = 0;
+  /// Diagnostics for inconsistencies (frontend merge block differing from
+  /// the post-dominator analysis). Empty on a clean run.
+  std::vector<std::string> Warnings;
+};
+
+/// Instruments \p M in place. Must run after lowering and before profiling.
+InstrumentResult instrumentModule(Module &M);
+
+} // namespace kremlin
+
+#endif // KREMLIN_INSTRUMENT_INSTRUMENTER_H

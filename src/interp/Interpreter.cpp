@@ -1,0 +1,372 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <bit>
+#include <cmath>
+
+using namespace kremlin;
+
+namespace {
+
+/// Per-run execution engine (memory, step budget, error state).
+class Engine {
+public:
+  Engine(const Module &M, const InterpConfig &Cfg,
+         const std::vector<uint64_t> &GlobalBase, uint64_t GlobalWords,
+         KremlinRuntime *RT)
+      : M(M), Cfg(Cfg), GlobalBase(GlobalBase), RT(RT),
+        Heap(GlobalWords + Cfg.StackWords, 0), SP(GlobalWords) {}
+
+  ExecResult run() {
+    ExecResult Result;
+    FuncId Main = M.mainFunction();
+    if (Main == NoFunc) {
+      Result.Error = "module has no main() function";
+      return Result;
+    }
+    const Function &F = M.Functions[Main];
+    if (F.NumParams != 0) {
+      Result.Error = "main() must take no parameters";
+      return Result;
+    }
+    if (RT)
+      RT->pushFrame(F.NumValues);
+    uint64_t Ret = callFunction(F, /*Args=*/{}, /*CallerDst=*/NoValue);
+    if (RT)
+      RT->popFrame();
+    Result.DynInstructions = Steps;
+    if (!Error.empty()) {
+      Result.Error = Error;
+      return Result;
+    }
+    Result.Ok = true;
+    Result.ExitValue = F.ReturnTy == Type::Void
+                           ? 0
+                           : static_cast<int64_t>(Ret);
+    return Result;
+  }
+
+private:
+  const Module &M;
+  const InterpConfig &Cfg;
+  const std::vector<uint64_t> &GlobalBase;
+  KremlinRuntime *RT;
+
+  std::vector<uint64_t> Heap;
+  uint64_t SP; ///< Next free stack word.
+  uint64_t Steps = 0;
+  unsigned CallDepth = 0;
+  std::string Error;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+
+  static double toF(uint64_t Bits) { return std::bit_cast<double>(Bits); }
+  static uint64_t fromF(double V) { return std::bit_cast<uint64_t>(V); }
+  static int64_t toI(uint64_t Bits) { return static_cast<int64_t>(Bits); }
+  static uint64_t fromI(int64_t V) { return static_cast<uint64_t>(V); }
+
+  /// Executes the body of \p F. The caller has already pushed the runtime
+  /// frame and copied parameter times; \p CallerDst is where the runtime
+  /// should copy the return value's times (NoValue for none).
+  uint64_t callFunction(const Function &F, const std::vector<uint64_t> &Args,
+                        ValueId CallerDst) {
+    if (++CallDepth > Cfg.MaxCallDepth) {
+      fail(formatString("call depth exceeded in @%s", F.Name.c_str()));
+      --CallDepth;
+      return 0;
+    }
+    std::vector<uint64_t> Regs(F.NumValues, 0);
+    for (size_t I = 0; I < Args.size(); ++I)
+      Regs[I] = Args[I];
+
+    // Bump-allocate frame arrays.
+    uint64_t FrameBase = SP;
+    std::vector<uint64_t> ArrayBase(F.FrameArrays.size());
+    for (size_t A = 0; A < F.FrameArrays.size(); ++A) {
+      ArrayBase[A] = SP;
+      SP += F.FrameArrays[A].SizeWords;
+    }
+    if (SP > Heap.size()) {
+      fail(formatString("stack overflow in @%s", F.Name.c_str()));
+      SP = FrameBase;
+      --CallDepth;
+      return 0;
+    }
+    // Zero this frame's array storage (fresh locals every call).
+    for (uint64_t W = FrameBase; W < SP; ++W)
+      Heap[W] = 0;
+
+    uint64_t RetValue = 0;
+    BlockId Cur = 0;
+    bool Returned = false;
+    while (!Returned && Error.empty()) {
+      if (RT)
+        RT->popControlDepsAtBlock(Cur);
+      const BasicBlock &BB = F.Blocks[Cur];
+      for (const Instruction &I : BB.Insts) {
+        if (++Steps > Cfg.MaxSteps) {
+          fail("dynamic instruction budget exceeded");
+          break;
+        }
+        switch (I.Op) {
+        case Opcode::ConstInt:
+          Regs[I.Result] = fromI(I.IntImm);
+          hook(I);
+          break;
+        case Opcode::ConstFloat:
+          Regs[I.Result] = fromF(I.FloatImm);
+          hook(I);
+          break;
+        case Opcode::Move:
+          Regs[I.Result] = Regs[I.A];
+          hook(I);
+          break;
+        case Opcode::GlobalAddr:
+          Regs[I.Result] = GlobalBase[I.Aux];
+          hook(I);
+          break;
+        case Opcode::FrameAddr:
+          Regs[I.Result] = ArrayBase[I.Aux];
+          hook(I);
+          break;
+        case Opcode::PtrAdd:
+          Regs[I.Result] = Regs[I.A] + Regs[I.B];
+          hook(I);
+          break;
+        case Opcode::Load: {
+          uint64_t Addr = Regs[I.A];
+          if (Addr >= Heap.size()) {
+            fail(formatString("@%s:%u: load out of bounds (addr %llu)",
+                              F.Name.c_str(), I.Line,
+                              static_cast<unsigned long long>(Addr)));
+            break;
+          }
+          Regs[I.Result] = Heap[Addr];
+          if (RT)
+            RT->onLoad(I.Result, I.A, Addr);
+          break;
+        }
+        case Opcode::Store: {
+          uint64_t Addr = Regs[I.A];
+          if (Addr >= Heap.size()) {
+            fail(formatString("@%s:%u: store out of bounds (addr %llu)",
+                              F.Name.c_str(), I.Line,
+                              static_cast<unsigned long long>(Addr)));
+            break;
+          }
+          Heap[Addr] = Regs[I.B];
+          if (RT)
+            RT->onStore(I.B, I.A, Addr);
+          break;
+        }
+        case Opcode::RegionEnter:
+          if (RT)
+            RT->enterRegion(I.Aux);
+          break;
+        case Opcode::RegionExit:
+          if (RT)
+            RT->exitRegion(I.Aux);
+          break;
+        case Opcode::Call: {
+          const Function &Callee = M.Functions[I.Aux];
+          std::vector<uint64_t> CallArgs(I.CallArgs.size());
+          for (size_t K = 0; K < I.CallArgs.size(); ++K)
+            CallArgs[K] = Regs[I.CallArgs[K]];
+          if (RT) {
+            RT->pushFrame(Callee.NumValues);
+            for (size_t K = 0; K < I.CallArgs.size(); ++K)
+              RT->copyParamFromCaller(static_cast<ValueId>(K),
+                                      I.CallArgs[K]);
+          }
+          uint64_t Ret = callFunction(Callee, CallArgs, I.Result);
+          if (RT)
+            RT->popFrame();
+          if (I.Result != NoValue) {
+            Regs[I.Result] = Ret;
+            if (RT) {
+              // The return value's times were copied into I.Result by the
+              // callee's Ret; fold in control deps and the call latency.
+              RT->onOp(Opcode::Call, I.Result, I.Result, NoValue,
+                       /*BreakDepA=*/false);
+            }
+          } else if (RT) {
+            RT->onOp(Opcode::Call, NoValue, NoValue, NoValue, false);
+          }
+          break;
+        }
+        case Opcode::Ret:
+          if (I.A != NoValue)
+            RetValue = Regs[I.A];
+          if (RT) {
+            RT->onOp(Opcode::Ret, NoValue, I.A, NoValue, false);
+            if (I.A != NoValue && CallerDst != NoValue)
+              RT->copyReturnToCaller(CallerDst, I.A);
+          }
+          Returned = true;
+          break;
+        case Opcode::Br:
+          if (RT)
+            RT->onOp(Opcode::Br, NoValue, NoValue, NoValue, false);
+          Cur = I.Aux;
+          break;
+        case Opcode::CondBr: {
+          bool Taken = Regs[I.A] != 0;
+          if (RT)
+            RT->onCondBranch(I.A,
+                             I.MergeBlock == NoBlock ? UINT32_MAX
+                                                     : I.MergeBlock,
+                             Cur);
+          Cur = Taken ? I.Aux : I.Aux2;
+          break;
+        }
+        default:
+          execComputational(I, Regs);
+          break;
+        }
+        if (Returned || isTerminator(I.Op) || !Error.empty())
+          break;
+      }
+      if (!Returned && Error.empty() &&
+          !isTerminator(F.Blocks[Cur].Insts.back().Op))
+        fail(formatString("@%s: block without terminator reached",
+                          F.Name.c_str()));
+    }
+
+    // Release this frame's array storage (and its shadow pages).
+    if (RT && SP > FrameBase)
+      RT->releaseShadowRange(FrameBase, SP - FrameBase);
+    SP = FrameBase;
+    --CallDepth;
+    return RetValue;
+  }
+
+  /// Arithmetic/compare/logic/cast opcodes.
+  void execComputational(const Instruction &I, std::vector<uint64_t> &Regs) {
+    uint64_t A = I.A != NoValue ? Regs[I.A] : 0;
+    uint64_t B = I.B != NoValue ? Regs[I.B] : 0;
+    uint64_t R = 0;
+    switch (I.Op) {
+    case Opcode::Add:
+      R = fromI(toI(A) + toI(B));
+      break;
+    case Opcode::Sub:
+      R = fromI(toI(A) - toI(B));
+      break;
+    case Opcode::Mul:
+      R = fromI(toI(A) * toI(B));
+      break;
+    case Opcode::Div:
+      R = fromI(toI(B) == 0 ? 0 : toI(A) / toI(B));
+      break;
+    case Opcode::Rem:
+      R = fromI(toI(B) == 0 ? 0 : toI(A) % toI(B));
+      break;
+    case Opcode::FAdd:
+      R = fromF(toF(A) + toF(B));
+      break;
+    case Opcode::FSub:
+      R = fromF(toF(A) - toF(B));
+      break;
+    case Opcode::FMul:
+      R = fromF(toF(A) * toF(B));
+      break;
+    case Opcode::FDiv:
+      R = fromF(toF(B) == 0.0 ? 0.0 : toF(A) / toF(B));
+      break;
+    case Opcode::CmpEQ:
+      R = toI(A) == toI(B);
+      break;
+    case Opcode::CmpNE:
+      R = toI(A) != toI(B);
+      break;
+    case Opcode::CmpLT:
+      R = toI(A) < toI(B);
+      break;
+    case Opcode::CmpLE:
+      R = toI(A) <= toI(B);
+      break;
+    case Opcode::CmpGT:
+      R = toI(A) > toI(B);
+      break;
+    case Opcode::CmpGE:
+      R = toI(A) >= toI(B);
+      break;
+    case Opcode::FCmpEQ:
+      R = toF(A) == toF(B);
+      break;
+    case Opcode::FCmpNE:
+      R = toF(A) != toF(B);
+      break;
+    case Opcode::FCmpLT:
+      R = toF(A) < toF(B);
+      break;
+    case Opcode::FCmpLE:
+      R = toF(A) <= toF(B);
+      break;
+    case Opcode::FCmpGT:
+      R = toF(A) > toF(B);
+      break;
+    case Opcode::FCmpGE:
+      R = toF(A) >= toF(B);
+      break;
+    case Opcode::And:
+      R = (A != 0) && (B != 0);
+      break;
+    case Opcode::Or:
+      R = (A != 0) || (B != 0);
+      break;
+    case Opcode::Not:
+      R = A == 0;
+      break;
+    case Opcode::Neg:
+      R = fromI(-toI(A));
+      break;
+    case Opcode::FNeg:
+      R = fromF(-toF(A));
+      break;
+    case Opcode::IntToFloat:
+      R = fromF(static_cast<double>(toI(A)));
+      break;
+    case Opcode::FloatToInt:
+      R = fromI(static_cast<int64_t>(toF(A)));
+      break;
+    default:
+      kremlin_unreachable("non-computational opcode in execComputational");
+    }
+    Regs[I.Result] = R;
+    hook(I);
+  }
+
+  /// Runtime hook for register-only operations.
+  void hook(const Instruction &I) {
+    if (!RT)
+      return;
+    RT->onOp(I.Op, I.Result, I.A, I.B,
+             I.IsInductionUpdate || I.IsReductionUpdate);
+  }
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, InterpConfig Cfg)
+    : M(M), Cfg(Cfg) {
+  GlobalBase.resize(M.Globals.size());
+  uint64_t Addr = 0;
+  for (size_t G = 0; G < M.Globals.size(); ++G) {
+    GlobalBase[G] = Addr;
+    Addr += M.Globals[G].SizeWords;
+  }
+  GlobalWords = Addr;
+}
+
+ExecResult Interpreter::run(KremlinRuntime *RT) {
+  Engine E(M, Cfg, GlobalBase, GlobalWords, RT);
+  return E.run();
+}

@@ -1,0 +1,92 @@
+//===- ir/Instruction.h - IR instruction record -----------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Kremlin IR instruction: a flat three-address record. Kept as one
+/// POD-ish struct (rather than a class hierarchy) because the interpreter
+/// dispatches over millions of these per profile run and the HCPA runtime
+/// wants cheap, uniform access to operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_IR_INSTRUCTION_H
+#define KREMLIN_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kremlin {
+
+/// Index of a virtual register within a function.
+using ValueId = uint32_t;
+/// Sentinel for "no value" (void call results, bare ret).
+inline constexpr ValueId NoValue = UINT32_MAX;
+
+/// Index of a basic block within a function.
+using BlockId = uint32_t;
+inline constexpr BlockId NoBlock = UINT32_MAX;
+
+/// Index of a function within a module.
+using FuncId = uint32_t;
+inline constexpr FuncId NoFunc = UINT32_MAX;
+
+/// One IR instruction. Field use by opcode:
+///   ConstInt: Result, IntImm            ConstFloat: Result, FloatImm
+///   binary ops: Result, A, B            unary ops: Result, A
+///   GlobalAddr/FrameAddr: Result, Aux   PtrAdd: Result, A, B
+///   Load: Result, A                     Store: A (addr), B (value)
+///   Call: Result (or NoValue), Aux (callee), CallArgs
+///   Ret: A (or NoValue)                 Br: Aux (target)
+///   CondBr: A, Aux (true), Aux2 (false), MergeBlock (immediate post-dom)
+///   RegionEnter/RegionExit: Aux (region id)
+struct Instruction {
+  Opcode Op = Opcode::ConstInt;
+  /// Result type, for value-producing opcodes.
+  Type Ty = Type::Int;
+
+  /// HCPA: this is an induction-variable update; the data dependence on the
+  /// old value is ignored by the shadow-memory update rule (paper §4.1,
+  /// "Resolving False and Easy-to-Break Dependencies").
+  bool IsInductionUpdate = false;
+  /// HCPA: this is a reduction-variable update; same timestamp rule as
+  /// induction updates, but the planner also charges reduction overhead.
+  bool IsReductionUpdate = false;
+
+  ValueId Result = NoValue;
+  ValueId A = NoValue;
+  ValueId B = NoValue;
+
+  /// Opcode-specific payload: branch targets, callee id, global/frame array
+  /// id, or region id (see the table above).
+  uint32_t Aux = 0;
+  /// CondBr only: the false target.
+  uint32_t Aux2 = 0;
+  /// CondBr only: immediate post-dominator block, where the control
+  /// dependence this branch pushes is popped (paper §4.1, "Managing Control
+  /// Dependencies"). Filled in by the instrumenter.
+  BlockId MergeBlock = NoBlock;
+
+  /// Innermost static region containing this instruction (stamped by the
+  /// frontend; UINT32_MAX == unknown for hand-built IR). Used to attribute
+  /// reduction updates to their enclosing loop region.
+  uint32_t EnclosingRegion = UINT32_MAX;
+
+  int64_t IntImm = 0;
+  double FloatImm = 0.0;
+
+  /// Call argument registers (empty for non-calls).
+  std::vector<ValueId> CallArgs;
+
+  /// 1-based source line, 0 if synthetic.
+  unsigned Line = 0;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_IR_INSTRUCTION_H

@@ -1,0 +1,159 @@
+//===- ir/Opcode.cpp ------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+using namespace kremlin;
+
+const char *kremlin::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+    return "const.i";
+  case Opcode::ConstFloat:
+    return "const.f";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::CmpEQ:
+    return "cmp.eq";
+  case Opcode::CmpNE:
+    return "cmp.ne";
+  case Opcode::CmpLT:
+    return "cmp.lt";
+  case Opcode::CmpLE:
+    return "cmp.le";
+  case Opcode::CmpGT:
+    return "cmp.gt";
+  case Opcode::CmpGE:
+    return "cmp.ge";
+  case Opcode::FCmpEQ:
+    return "fcmp.eq";
+  case Opcode::FCmpNE:
+    return "fcmp.ne";
+  case Opcode::FCmpLT:
+    return "fcmp.lt";
+  case Opcode::FCmpLE:
+    return "fcmp.le";
+  case Opcode::FCmpGT:
+    return "fcmp.gt";
+  case Opcode::FCmpGE:
+    return "fcmp.ge";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::IntToFloat:
+    return "itof";
+  case Opcode::FloatToInt:
+    return "ftoi";
+  case Opcode::Move:
+    return "move";
+  case Opcode::GlobalAddr:
+    return "gaddr";
+  case Opcode::FrameAddr:
+    return "faddr";
+  case Opcode::PtrAdd:
+    return "padd";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::RegionEnter:
+    return "region.enter";
+  case Opcode::RegionExit:
+    return "region.exit";
+  }
+  return "?";
+}
+
+bool kremlin::producesValue(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::RegionEnter:
+  case Opcode::RegionExit:
+    return false;
+  case Opcode::Call:
+    // Calls to void functions have Result == NoValue; the opcode itself can
+    // produce a value.
+    return true;
+  default:
+    return true;
+  }
+}
+
+bool kremlin::isBinaryOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::FCmpEQ:
+  case Opcode::FCmpNE:
+  case Opcode::FCmpLT:
+  case Opcode::FCmpLE:
+  case Opcode::FCmpGT:
+  case Opcode::FCmpGE:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::PtrAdd:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool kremlin::isUnaryOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Not:
+  case Opcode::Neg:
+  case Opcode::FNeg:
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+  case Opcode::Move:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,106 @@
+//===- ir/Opcode.h - Kremlin IR opcodes -------------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcode enumeration for the register-based Kremlin IR, plus small
+/// classification predicates used by the verifier, interpreter and
+/// instrumentation runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_IR_OPCODE_H
+#define KREMLIN_IR_OPCODE_H
+
+namespace kremlin {
+
+/// All Kremlin IR operations. The IR is a three-address-code over virtual
+/// registers; constants are materialized explicitly so that the dependence
+/// tracking in the HCPA runtime sees every value producer.
+enum class Opcode : unsigned char {
+  // Constants.
+  ConstInt,   ///< Result = IntImm
+  ConstFloat, ///< Result = FloatImm
+
+  // Integer arithmetic.
+  Add, ///< Result = A + B
+  Sub, ///< Result = A - B
+  Mul, ///< Result = A * B
+  Div, ///< Result = A / B (trap-free: x/0 == 0)
+  Rem, ///< Result = A % B (trap-free: x%0 == 0)
+
+  // Float arithmetic.
+  FAdd, ///< Result = A + B
+  FSub, ///< Result = A - B
+  FMul, ///< Result = A * B
+  FDiv, ///< Result = A / B
+
+  // Integer comparisons (result is 0/1 int).
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+
+  // Float comparisons (result is 0/1 int).
+  FCmpEQ,
+  FCmpNE,
+  FCmpLT,
+  FCmpLE,
+  FCmpGT,
+  FCmpGE,
+
+  // Logic on 0/1 ints and unary ops.
+  And, ///< Result = A && B (logical)
+  Or,  ///< Result = A || B (logical)
+  Not, ///< Result = !A
+  Neg, ///< Result = -A (int)
+  FNeg,
+
+  // Conversions and copies.
+  IntToFloat,
+  FloatToInt,
+  Move, ///< Result = A
+
+  // Memory.
+  GlobalAddr, ///< Result = address of global #Aux
+  FrameAddr,  ///< Result = address of current frame's array #Aux
+  PtrAdd,     ///< Result = A + B (word-granular address arithmetic)
+  Load,       ///< Result = mem[A]
+  Store,      ///< mem[A] = B
+
+  // Control flow.
+  Call,   ///< Result = call function #Aux with CallArgs
+  Ret,    ///< return A (or nothing when A == NoValue)
+  Br,     ///< unconditional branch to block #Aux
+  CondBr, ///< branch on A to block #Aux (true) / #Aux2 (false)
+
+  // Region instrumentation markers (inserted by the frontend/instrumenter;
+  // interpreted as KremLib runtime hooks).
+  RegionEnter, ///< enter static region #Aux
+  RegionExit   ///< exit static region #Aux
+};
+
+/// Returns a stable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True for Br/CondBr/Ret: the opcodes that must terminate a basic block.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+/// True for opcodes that define a result register.
+bool producesValue(Opcode Op);
+
+/// True for two-register-operand arithmetic/compare/logic opcodes.
+bool isBinaryOp(Opcode Op);
+
+/// True for single-register-operand opcodes (Not/Neg/FNeg/casts/Move).
+bool isUnaryOp(Opcode Op);
+
+} // namespace kremlin
+
+#endif // KREMLIN_IR_OPCODE_H

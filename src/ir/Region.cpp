@@ -1,0 +1,13 @@
+//===- ir/Region.cpp ------------------------------------------------------===//
+
+#include "ir/Region.h"
+
+#include "support/StringUtils.h"
+
+using namespace kremlin;
+
+std::string StaticRegion::sourceSpan() const {
+  if (File.empty())
+    return Name;
+  return formatString("%s (%u-%u)", File.c_str(), StartLine, EndLine);
+}

@@ -1,0 +1,83 @@
+//===- ir/Region.h - Static program regions ---------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static regions are the units Kremlin measures parallelism over (paper
+/// Section 2.2): functions, loops, and loop bodies (one BODY region is
+/// entered per loop iteration, which is how a loop's self-parallelism ends
+/// up measuring cross-iteration parallelism). Regions obey a proper nesting
+/// structure: a loop's region is a child of its enclosing loop/function
+/// region, and the BODY region is the loop region's only static child
+/// besides nested loops declared inside it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_IR_REGION_H
+#define KREMLIN_IR_REGION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+using RegionId = uint32_t;
+/// Sentinel for "no region" (e.g. the static parent of a function region).
+inline constexpr RegionId NoRegion = UINT32_MAX;
+
+/// The three kinds of static region Kremlin instruments.
+enum class RegionKind : unsigned char {
+  Function, ///< Entered/exited once per call.
+  Loop,     ///< Entered when control first reaches the loop, exited after.
+  Body      ///< Entered/exited once per loop iteration.
+};
+
+/// Returns "func" / "loop" / "body".
+inline const char *regionKindName(RegionKind Kind) {
+  switch (Kind) {
+  case RegionKind::Function:
+    return "func";
+  case RegionKind::Loop:
+    return "loop";
+  case RegionKind::Body:
+    return "body";
+  }
+  return "?";
+}
+
+/// A static region: its identity, source position, and static nesting.
+/// Function regions have Parent == NoRegion; their dynamic parent is the
+/// calling region, discovered at profile time.
+struct StaticRegion {
+  RegionId Id = NoRegion;
+  RegionKind Kind = RegionKind::Function;
+  /// Owning function (index into Module::Functions).
+  uint32_t Func = 0;
+  /// Static parent within the same function, or NoRegion for a function
+  /// region.
+  RegionId Parent = NoRegion;
+  /// Static children within the same function (loops directly nested, and
+  /// for a Loop region its Body region).
+  std::vector<RegionId> Children;
+  /// Human-readable name: the function name, or "for"/"while".
+  std::string Name;
+  /// Source file this region came from.
+  std::string File;
+  /// 1-based source line range [StartLine, EndLine].
+  unsigned StartLine = 0;
+  unsigned EndLine = 0;
+  /// Set by the instrumenter: a reduction-variable update was detected
+  /// whose innermost enclosing loop is this region. The OpenMP planner uses
+  /// this to charge reduction overhead (§5.1's art/ammp-vs-ep constraint).
+  bool HasReduction = false;
+
+  /// Renders "file.c (49-58)" like the Figure 3 UI.
+  std::string sourceSpan() const;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_IR_REGION_H

@@ -1,0 +1,42 @@
+//===- ir/Type.h - MiniC value types ----------------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC/Kremlin IR type system. Deliberately tiny: 64-bit integers,
+/// 64-bit floats, and void (for functions without a return value). Arrays
+/// are not first-class values; they are storage (globals or frame arrays)
+/// accessed through address values, which are integers at the IR level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_IR_TYPE_H
+#define KREMLIN_IR_TYPE_H
+
+namespace kremlin {
+
+/// Scalar value type of an IR value or function return.
+enum class Type : unsigned char {
+  Void, ///< No value (procedure return only).
+  Int,  ///< 64-bit signed integer; also used for addresses and booleans.
+  Float ///< 64-bit IEEE double.
+};
+
+/// Returns a printable name for \p Ty ("void", "int", "float").
+inline const char *typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::Int:
+    return "int";
+  case Type::Float:
+    return "float";
+  }
+  return "?";
+}
+
+} // namespace kremlin
+
+#endif // KREMLIN_IR_TYPE_H

@@ -1,0 +1,147 @@
+//===- parser/Ast.h - MiniC abstract syntax trees ---------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MiniC. The AST is an intermediate step between
+/// the parser and IR lowering; it is deliberately plain (unique_ptr trees,
+/// kind tags) and owns all source-position information used to build the
+/// static region table.
+///
+/// MiniC restrictions relevant to the HCPA runtime (documented in
+/// DESIGN.md): no break/continue/goto (structured control flow keeps the
+/// control-dependence stack exact), no pointers or address-of (arrays are
+/// storage, not values), logical &&/|| evaluate eagerly (all arithmetic is
+/// trap-free, so this is semantics-preserving).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_PARSER_AST_H
+#define KREMLIN_PARSER_AST_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node.
+struct Expr {
+  enum class Kind : unsigned char {
+    IntLit,   ///< IntValue
+    FloatLit, ///< FloatValue
+    Var,      ///< Name
+    Index,    ///< Name[Args[0]][Args[1]]...
+    Call,     ///< Name(Args...)
+    Unary,    ///< UnOp applied to Args[0]
+    Binary    ///< Args[0] BinOp Args[1]
+  };
+  enum class UnOpKind : unsigned char { Neg, Not };
+  enum class BinOpKind : unsigned char {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or
+  };
+
+  Kind K = Kind::IntLit;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  std::string Name;
+  UnOpKind UnOp = UnOpKind::Neg;
+  BinOpKind BinOp = BinOpKind::Add;
+  std::vector<ExprPtr> Args;
+  unsigned Line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind : unsigned char {
+    DeclScalar, ///< Ty Name = Init? ;
+    DeclArray,  ///< Ty Name[d0][d1]... ;
+    Assign,     ///< Target (Var or Index expr) = Value ;
+    If,         ///< if (Cond) Then else Else?
+    For,        ///< for (Init?; Cond?; Step?) Body
+    While,      ///< while (Cond) Body
+    Return,     ///< return Value? ;
+    ExprStmt,   ///< Value ; (calls)
+    Block       ///< { Body... }
+  };
+
+  Kind K = Stmt::Kind::Block;
+  Type Ty = Type::Int;
+  std::string Name;
+  std::vector<uint64_t> Dims;
+
+  ExprPtr Target; ///< Assign: lvalue (Var or Index).
+  ExprPtr Value;  ///< Assign/Return/ExprStmt value; If/While/For condition
+                  ///< lives in Cond.
+  ExprPtr Cond;
+  StmtPtr Init; ///< For: init statement (Assign or DeclScalar).
+  StmtPtr Step; ///< For: step statement (Assign).
+  StmtPtr Then;
+  StmtPtr Else;
+  std::vector<StmtPtr> Body;
+
+  unsigned Line = 0;
+  unsigned EndLine = 0;
+};
+
+/// One function parameter. Array parameters carry trailing dimensions for
+/// index flattening; Dims[0] == 0 means "unknown first dimension" (T a[]).
+struct ParamDecl {
+  Type Ty = Type::Int;
+  std::string Name;
+  bool IsArray = false;
+  std::vector<uint64_t> Dims;
+  unsigned Line = 0;
+};
+
+/// One parsed function definition.
+struct FuncDecl {
+  Type ReturnTy = Type::Void;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; ///< Always a Block statement.
+  unsigned Line = 0;
+  unsigned EndLine = 0;
+};
+
+/// One parsed global array declaration.
+struct GlobalDecl {
+  Type Ty = Type::Int;
+  std::string Name;
+  std::vector<uint64_t> Dims;
+  unsigned Line = 0;
+};
+
+/// A whole parsed translation unit.
+struct ProgramAst {
+  std::string SourceName;
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Functions;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_PARSER_AST_H

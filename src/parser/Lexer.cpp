@@ -1,0 +1,325 @@
+//===- parser/Lexer.cpp ---------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace kremlin;
+
+const char *kremlin::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Not:
+    return "'!'";
+  }
+  return "?";
+}
+
+static TokKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"int", TokKind::KwInt},       {"float", TokKind::KwFloat},
+      {"double", TokKind::KwFloat},  {"void", TokKind::KwVoid},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"for", TokKind::KwFor},       {"while", TokKind::KwWhile},
+      {"return", TokKind::KwReturn}};
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokKind::Ident : It->second;
+}
+
+std::vector<Token> kremlin::lexSource(std::string_view Source,
+                                      std::vector<std::string> &Errors) {
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  };
+  auto Advance = [&]() {
+    if (Peek() == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  };
+  auto Push = [&](TokKind Kind, unsigned TokLine, unsigned TokCol,
+                  std::string Text = std::string()) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = TokLine;
+    T.Col = TokCol;
+    Toks.push_back(std::move(T));
+  };
+
+  while (Pos < Source.size()) {
+    char C = Peek();
+    unsigned TokLine = Line, TokCol = Col;
+
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Peek(1) == '/') {
+      while (Pos < Source.size() && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (Pos < Source.size() && !(Peek() == '*' && Peek(1) == '/'))
+        Advance();
+      if (Pos >= Source.size()) {
+        Errors.push_back(formatString("%u:%u: unterminated block comment",
+                                      TokLine, TokCol));
+        break;
+      }
+      Advance();
+      Advance();
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (std::isalnum(static_cast<unsigned char>(Peek())) ||
+             Peek() == '_') {
+        Word += Peek();
+        Advance();
+      }
+      TokKind Kind = keywordKind(Word);
+      Push(Kind, TokLine, TokCol, Kind == TokKind::Ident ? Word : Word);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      std::string Num;
+      bool IsFloat = false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Num += Peek();
+        Advance();
+      }
+      if (Peek() == '.') {
+        IsFloat = true;
+        Num += Peek();
+        Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Num += Peek();
+          Advance();
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        IsFloat = true;
+        Num += Peek();
+        Advance();
+        if (Peek() == '+' || Peek() == '-') {
+          Num += Peek();
+          Advance();
+        }
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Num += Peek();
+          Advance();
+        }
+      }
+      Token T;
+      T.Kind = IsFloat ? TokKind::FloatLit : TokKind::IntLit;
+      T.Text = Num;
+      T.Line = TokLine;
+      T.Col = TokCol;
+      if (IsFloat)
+        T.FloatValue = std::strtod(Num.c_str(), nullptr);
+      else
+        T.IntValue = std::strtoll(Num.c_str(), nullptr, 10);
+      Toks.push_back(std::move(T));
+      continue;
+    }
+
+    // Operators and punctuation.
+    auto Two = [&](char Second, TokKind Double, TokKind Single) {
+      Advance();
+      if (Peek() == Second) {
+        Advance();
+        Push(Double, TokLine, TokCol);
+      } else {
+        Push(Single, TokLine, TokCol);
+      }
+    };
+    switch (C) {
+    case '(':
+      Advance();
+      Push(TokKind::LParen, TokLine, TokCol);
+      break;
+    case ')':
+      Advance();
+      Push(TokKind::RParen, TokLine, TokCol);
+      break;
+    case '{':
+      Advance();
+      Push(TokKind::LBrace, TokLine, TokCol);
+      break;
+    case '}':
+      Advance();
+      Push(TokKind::RBrace, TokLine, TokCol);
+      break;
+    case '[':
+      Advance();
+      Push(TokKind::LBracket, TokLine, TokCol);
+      break;
+    case ']':
+      Advance();
+      Push(TokKind::RBracket, TokLine, TokCol);
+      break;
+    case ',':
+      Advance();
+      Push(TokKind::Comma, TokLine, TokCol);
+      break;
+    case ';':
+      Advance();
+      Push(TokKind::Semi, TokLine, TokCol);
+      break;
+    case '+':
+      Advance();
+      Push(TokKind::Plus, TokLine, TokCol);
+      break;
+    case '-':
+      Advance();
+      Push(TokKind::Minus, TokLine, TokCol);
+      break;
+    case '*':
+      Advance();
+      Push(TokKind::Star, TokLine, TokCol);
+      break;
+    case '/':
+      Advance();
+      Push(TokKind::Slash, TokLine, TokCol);
+      break;
+    case '%':
+      Advance();
+      Push(TokKind::Percent, TokLine, TokCol);
+      break;
+    case '=':
+      Two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      Two('=', TokKind::NotEq, TokKind::Not);
+      break;
+    case '<':
+      Two('=', TokKind::LessEq, TokKind::Less);
+      break;
+    case '>':
+      Two('=', TokKind::GreaterEq, TokKind::Greater);
+      break;
+    case '&':
+      if (Peek(1) == '&') {
+        Advance();
+        Advance();
+        Push(TokKind::AndAnd, TokLine, TokCol);
+      } else {
+        Errors.push_back(
+            formatString("%u:%u: stray '&' (MiniC has no bitwise ops or "
+                         "address-of)",
+                         TokLine, TokCol));
+        Advance();
+      }
+      break;
+    case '|':
+      if (Peek(1) == '|') {
+        Advance();
+        Advance();
+        Push(TokKind::OrOr, TokLine, TokCol);
+      } else {
+        Errors.push_back(formatString("%u:%u: stray '|'", TokLine, TokCol));
+        Advance();
+      }
+      break;
+    default:
+      Errors.push_back(formatString("%u:%u: unexpected character '%c'",
+                                    TokLine, TokCol, C));
+      Advance();
+      break;
+    }
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Line = Line;
+  Eof.Col = Col;
+  Toks.push_back(std::move(Eof));
+  return Toks;
+}

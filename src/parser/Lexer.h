@@ -1,0 +1,85 @@
+//===- parser/Lexer.h - MiniC tokenizer -------------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset Kremlin profiles in this reproduction.
+/// Supports identifiers, integer/float literals, the usual operator set,
+/// line ('//') and block comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_PARSER_LEXER_H
+#define KREMLIN_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kremlin {
+
+/// Token kinds produced by the MiniC lexer.
+enum class TokKind : unsigned char {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  // Keywords.
+  KwInt,
+  KwFloat,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AndAnd,
+  OrOr,
+  Not
+};
+
+/// Returns a printable token-kind name for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+/// One lexed token with its source position.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Lexes \p Source completely. On a lexical error, appends a message to
+/// \p Errors and skips the offending character.
+std::vector<Token> lexSource(std::string_view Source,
+                             std::vector<std::string> &Errors);
+
+} // namespace kremlin
+
+#endif // KREMLIN_PARSER_LEXER_H

@@ -1,0 +1,489 @@
+//===- parser/Parser.cpp --------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+#include "support/StringUtils.h"
+
+using namespace kremlin;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Toks, std::string SourceName,
+             std::vector<std::string> LexErrors)
+      : Toks(std::move(Toks)) {
+    Result.Program.SourceName = std::move(SourceName);
+    Result.Errors = std::move(LexErrors);
+  }
+
+  ParseResult run() {
+    while (!at(TokKind::Eof)) {
+      if (!parseTopLevel() && !at(TokKind::Eof))
+        synchronizeTopLevel();
+    }
+    return std::move(Result);
+  }
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  ParseResult Result;
+
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(TokKind Kind) const { return cur().Kind == Kind; }
+
+  const Token &advance() {
+    const Token &T = Toks[Pos];
+    if (!at(TokKind::Eof))
+      ++Pos;
+    return T;
+  }
+
+  bool accept(TokKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    Result.Errors.push_back(
+        formatString("%s:%u:%u: %s", Result.Program.SourceName.c_str(),
+                     cur().Line, cur().Col, Msg.c_str()));
+  }
+
+  bool expect(TokKind Kind) {
+    if (accept(Kind))
+      return true;
+    error(formatString("expected %s, found %s", tokKindName(Kind),
+                       tokKindName(cur().Kind)));
+    return false;
+  }
+
+  /// Skips ahead to a plausible top-level start after an error.
+  void synchronizeTopLevel() {
+    while (!at(TokKind::Eof) && !at(TokKind::KwInt) && !at(TokKind::KwFloat) &&
+           !at(TokKind::KwVoid))
+      advance();
+  }
+
+  bool atType() const {
+    return at(TokKind::KwInt) || at(TokKind::KwFloat) || at(TokKind::KwVoid);
+  }
+
+  Type parseType() {
+    if (accept(TokKind::KwInt))
+      return Type::Int;
+    if (accept(TokKind::KwFloat))
+      return Type::Float;
+    if (accept(TokKind::KwVoid))
+      return Type::Void;
+    error("expected a type");
+    advance();
+    return Type::Int;
+  }
+
+  /// Parses either a global array declaration or a function definition.
+  bool parseTopLevel() {
+    if (!atType()) {
+      error(formatString("expected a declaration, found %s",
+                         tokKindName(cur().Kind)));
+      return false;
+    }
+    unsigned Line = cur().Line;
+    Type Ty = parseType();
+    if (!at(TokKind::Ident)) {
+      error("expected an identifier");
+      return false;
+    }
+    std::string Name = advance().Text;
+
+    if (at(TokKind::LParen))
+      return parseFunction(Ty, std::move(Name), Line);
+    return parseGlobal(Ty, std::move(Name), Line);
+  }
+
+  bool parseGlobal(Type Ty, std::string Name, unsigned Line) {
+    if (Ty == Type::Void) {
+      error("global arrays cannot be void");
+      Ty = Type::Int;
+    }
+    GlobalDecl G;
+    G.Ty = Ty;
+    G.Name = std::move(Name);
+    G.Line = Line;
+    if (!at(TokKind::LBracket)) {
+      error("global variables must be arrays in MiniC (scalars are locals)");
+      accept(TokKind::Semi);
+      return false;
+    }
+    while (accept(TokKind::LBracket)) {
+      if (!at(TokKind::IntLit)) {
+        error("array dimension must be an integer literal");
+        return false;
+      }
+      G.Dims.push_back(static_cast<uint64_t>(advance().IntValue));
+      expect(TokKind::RBracket);
+    }
+    expect(TokKind::Semi);
+    Result.Program.Globals.push_back(std::move(G));
+    return true;
+  }
+
+  bool parseFunction(Type RetTy, std::string Name, unsigned Line) {
+    FuncDecl F;
+    F.ReturnTy = RetTy;
+    F.Name = std::move(Name);
+    F.Line = Line;
+    expect(TokKind::LParen);
+    if (!at(TokKind::RParen)) {
+      do {
+        ParamDecl P;
+        P.Line = cur().Line;
+        P.Ty = parseType();
+        if (P.Ty == Type::Void) {
+          error("parameters cannot be void");
+          P.Ty = Type::Int;
+        }
+        if (at(TokKind::Ident))
+          P.Name = advance().Text;
+        else
+          error("expected a parameter name");
+        while (accept(TokKind::LBracket)) {
+          P.IsArray = true;
+          if (at(TokKind::IntLit))
+            P.Dims.push_back(static_cast<uint64_t>(advance().IntValue));
+          else
+            P.Dims.push_back(0); // Unknown leading dimension: T a[].
+          expect(TokKind::RBracket);
+        }
+        F.Params.push_back(std::move(P));
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen);
+    if (!at(TokKind::LBrace)) {
+      error("expected a function body");
+      return false;
+    }
+    F.Body = parseBlock();
+    F.EndLine = F.Body ? F.Body->EndLine : F.Line;
+    Result.Program.Functions.push_back(std::move(F));
+    return true;
+  }
+
+  StmtPtr parseBlock() {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::Block;
+    S->Line = cur().Line;
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+      StmtPtr Inner = parseStatement();
+      if (Inner)
+        S->Body.push_back(std::move(Inner));
+    }
+    S->EndLine = cur().Line;
+    expect(TokKind::RBrace);
+    return S;
+  }
+
+  StmtPtr parseStatement() {
+    if (at(TokKind::LBrace))
+      return parseBlock();
+    if (atType())
+      return parseDecl();
+    if (at(TokKind::KwIf))
+      return parseIf();
+    if (at(TokKind::KwFor))
+      return parseFor();
+    if (at(TokKind::KwWhile))
+      return parseWhile();
+    if (at(TokKind::KwReturn))
+      return parseReturn();
+    return parseAssignOrExpr(/*RequireSemi=*/true);
+  }
+
+  StmtPtr parseDecl() {
+    auto S = std::make_unique<Stmt>();
+    S->Line = cur().Line;
+    S->Ty = parseType();
+    if (S->Ty == Type::Void) {
+      error("local declarations cannot be void");
+      S->Ty = Type::Int;
+    }
+    if (at(TokKind::Ident))
+      S->Name = advance().Text;
+    else
+      error("expected a variable name");
+    if (at(TokKind::LBracket)) {
+      S->K = Stmt::Kind::DeclArray;
+      while (accept(TokKind::LBracket)) {
+        if (at(TokKind::IntLit))
+          S->Dims.push_back(static_cast<uint64_t>(advance().IntValue));
+        else
+          error("array dimension must be an integer literal");
+        expect(TokKind::RBracket);
+      }
+    } else {
+      S->K = Stmt::Kind::DeclScalar;
+      if (accept(TokKind::Assign))
+        S->Value = parseExpr();
+    }
+    S->EndLine = cur().Line;
+    expect(TokKind::Semi);
+    return S;
+  }
+
+  StmtPtr parseIf() {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::If;
+    S->Line = cur().Line;
+    advance(); // if
+    expect(TokKind::LParen);
+    S->Cond = parseExpr();
+    expect(TokKind::RParen);
+    S->Then = parseStatement();
+    if (accept(TokKind::KwElse))
+      S->Else = parseStatement();
+    S->EndLine = S->Else    ? S->Else->EndLine
+                 : S->Then ? S->Then->EndLine
+                           : S->Line;
+    return S;
+  }
+
+  StmtPtr parseFor() {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::For;
+    S->Line = cur().Line;
+    advance(); // for
+    expect(TokKind::LParen);
+    if (!at(TokKind::Semi)) {
+      if (atType())
+        S->Init = parseDecl(); // Consumes its ';'.
+      else
+        S->Init = parseAssignOrExpr(/*RequireSemi=*/true);
+    } else {
+      expect(TokKind::Semi);
+    }
+    if (!at(TokKind::Semi))
+      S->Cond = parseExpr();
+    expect(TokKind::Semi);
+    if (!at(TokKind::RParen))
+      S->Step = parseAssignOrExpr(/*RequireSemi=*/false);
+    expect(TokKind::RParen);
+    S->Then = parseStatement();
+    S->EndLine = S->Then ? S->Then->EndLine : S->Line;
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::While;
+    S->Line = cur().Line;
+    advance(); // while
+    expect(TokKind::LParen);
+    S->Cond = parseExpr();
+    expect(TokKind::RParen);
+    S->Then = parseStatement();
+    S->EndLine = S->Then ? S->Then->EndLine : S->Line;
+    return S;
+  }
+
+  StmtPtr parseReturn() {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::Return;
+    S->Line = cur().Line;
+    advance(); // return
+    if (!at(TokKind::Semi))
+      S->Value = parseExpr();
+    S->EndLine = cur().Line;
+    expect(TokKind::Semi);
+    return S;
+  }
+
+  /// Parses `lvalue = expr` or a bare expression statement (a call).
+  StmtPtr parseAssignOrExpr(bool RequireSemi) {
+    auto S = std::make_unique<Stmt>();
+    S->Line = cur().Line;
+    ExprPtr E = parseExpr();
+    if (at(TokKind::Assign)) {
+      if (!E || (E->K != Expr::Kind::Var && E->K != Expr::Kind::Index))
+        error("left side of '=' must be a variable or array element");
+      advance();
+      S->K = Stmt::Kind::Assign;
+      S->Target = std::move(E);
+      S->Value = parseExpr();
+    } else {
+      if (E && E->K != Expr::Kind::Call)
+        error("expression statement must be a call");
+      S->K = Stmt::Kind::ExprStmt;
+      S->Value = std::move(E);
+    }
+    S->EndLine = cur().Line;
+    if (RequireSemi)
+      expect(TokKind::Semi);
+    return S;
+  }
+
+  // --- Expressions (precedence climbing) --------------------------------
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr makeBinary(Expr::BinOpKind Op, ExprPtr L, ExprPtr R,
+                     unsigned Line) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Binary;
+    E->BinOp = Op;
+    E->Line = Line;
+    E->Args.push_back(std::move(L));
+    E->Args.push_back(std::move(R));
+    return E;
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (at(TokKind::OrOr)) {
+      unsigned Line = advance().Line;
+      L = makeBinary(Expr::BinOpKind::Or, std::move(L), parseAnd(), Line);
+    }
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseCmp();
+    while (at(TokKind::AndAnd)) {
+      unsigned Line = advance().Line;
+      L = makeBinary(Expr::BinOpKind::And, std::move(L), parseCmp(), Line);
+    }
+    return L;
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr L = parseAddSub();
+    Expr::BinOpKind Op;
+    switch (cur().Kind) {
+    case TokKind::EqEq:
+      Op = Expr::BinOpKind::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = Expr::BinOpKind::Ne;
+      break;
+    case TokKind::Less:
+      Op = Expr::BinOpKind::Lt;
+      break;
+    case TokKind::LessEq:
+      Op = Expr::BinOpKind::Le;
+      break;
+    case TokKind::Greater:
+      Op = Expr::BinOpKind::Gt;
+      break;
+    case TokKind::GreaterEq:
+      Op = Expr::BinOpKind::Ge;
+      break;
+    default:
+      return L;
+    }
+    unsigned Line = advance().Line;
+    return makeBinary(Op, std::move(L), parseAddSub(), Line);
+  }
+
+  ExprPtr parseAddSub() {
+    ExprPtr L = parseMulDiv();
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      Expr::BinOpKind Op = at(TokKind::Plus) ? Expr::BinOpKind::Add
+                                             : Expr::BinOpKind::Sub;
+      unsigned Line = advance().Line;
+      L = makeBinary(Op, std::move(L), parseMulDiv(), Line);
+    }
+    return L;
+  }
+
+  ExprPtr parseMulDiv() {
+    ExprPtr L = parseUnary();
+    while (at(TokKind::Star) || at(TokKind::Slash) || at(TokKind::Percent)) {
+      Expr::BinOpKind Op = at(TokKind::Star)    ? Expr::BinOpKind::Mul
+                           : at(TokKind::Slash) ? Expr::BinOpKind::Div
+                                                : Expr::BinOpKind::Rem;
+      unsigned Line = advance().Line;
+      L = makeBinary(Op, std::move(L), parseUnary(), Line);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (at(TokKind::Minus) || at(TokKind::Not)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Unary;
+      E->UnOp = at(TokKind::Minus) ? Expr::UnOpKind::Neg : Expr::UnOpKind::Not;
+      E->Line = advance().Line;
+      E->Args.push_back(parseUnary());
+      return E;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    auto E = std::make_unique<Expr>();
+    E->Line = cur().Line;
+    if (at(TokKind::IntLit)) {
+      E->K = Expr::Kind::IntLit;
+      E->IntValue = advance().IntValue;
+      return E;
+    }
+    if (at(TokKind::FloatLit)) {
+      E->K = Expr::Kind::FloatLit;
+      E->FloatValue = advance().FloatValue;
+      return E;
+    }
+    if (accept(TokKind::LParen)) {
+      ExprPtr Inner = parseExpr();
+      expect(TokKind::RParen);
+      return Inner;
+    }
+    if (!at(TokKind::Ident)) {
+      error(formatString("expected an expression, found %s",
+                         tokKindName(cur().Kind)));
+      // Do not consume structural tokens: they let the enclosing
+      // block/statement resynchronize.
+      if (!at(TokKind::RBrace) && !at(TokKind::RParen) &&
+          !at(TokKind::Semi) && !at(TokKind::Eof))
+        advance();
+      E->K = Expr::Kind::IntLit;
+      return E;
+    }
+    E->Name = advance().Text;
+    if (accept(TokKind::LParen)) {
+      E->K = Expr::Kind::Call;
+      if (!at(TokKind::RParen)) {
+        do {
+          E->Args.push_back(parseExpr());
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen);
+      return E;
+    }
+    if (at(TokKind::LBracket)) {
+      E->K = Expr::Kind::Index;
+      while (accept(TokKind::LBracket)) {
+        E->Args.push_back(parseExpr());
+        expect(TokKind::RBracket);
+      }
+      return E;
+    }
+    E->K = Expr::Kind::Var;
+    return E;
+  }
+};
+
+} // namespace
+
+ParseResult kremlin::parseMiniC(std::string_view Source,
+                                std::string SourceName) {
+  std::vector<std::string> LexErrors;
+  std::vector<Token> Toks = lexSource(Source, LexErrors);
+  return ParserImpl(std::move(Toks), std::move(SourceName),
+                    std::move(LexErrors))
+      .run();
+}

@@ -1,0 +1,71 @@
+//===- planner/Plan.h - Parallelism plans ------------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallelism plan (paper §2.3): an ordered list of regions for the
+/// programmer to parallelize, each annotated with the metrics Kremlin's UI
+/// shows (Figure 3) — self-parallelism, coverage, and the estimated
+/// whole-program speedup of parallelizing that region alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_PLANNER_PLAN_H
+#define KREMLIN_PLANNER_PLAN_H
+
+#include "ir/Module.h"
+#include "profile/ParallelismProfile.h"
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+/// One recommended region.
+struct PlanItem {
+  RegionId Region = NoRegion;
+  double SelfP = 1.0;
+  double CoveragePct = 0.0;
+  LoopClass Class = LoopClass::NotLoop;
+  /// Fraction of whole-program serial time removed by parallelizing this
+  /// region ideally: coverage * (1 - 1/SP).
+  double GainFrac = 0.0;
+  /// Amdahl speedup of the whole program if only this region is
+  /// parallelized: 1 / (1 - GainFrac).
+  double EstSpeedup = 1.0;
+};
+
+/// An ordered parallelism plan.
+struct Plan {
+  std::string Personality;
+  /// Recommended regions, highest estimated speedup first.
+  std::vector<PlanItem> Items;
+  /// Ideal whole-program speedup if the full plan is applied.
+  double EstProgramSpeedup = 1.0;
+
+  bool contains(RegionId R) const {
+    for (const PlanItem &I : Items)
+      if (I.Region == R)
+        return true;
+    return false;
+  }
+
+  std::vector<RegionId> regionIds() const {
+    std::vector<RegionId> Ids;
+    Ids.reserve(Items.size());
+    for (const PlanItem &I : Items)
+      Ids.push_back(I.Region);
+    return Ids;
+  }
+};
+
+/// Renders the plan in the Figure 3 UI format:
+///   #  File (lines)        Self-P  Cov (%)
+std::string printPlan(const Module &M, const Plan &P,
+                      size_t MaxRows = 25);
+
+} // namespace kremlin
+
+#endif // KREMLIN_PLANNER_PLAN_H

@@ -1,0 +1,85 @@
+//===- planner/RegionTree.cpp ---------------------------------------------===//
+
+#include "planner/RegionTree.h"
+
+#include <algorithm>
+
+using namespace kremlin;
+
+PlanningTree::PlanningTree(const ParallelismProfile &Profile) {
+  const Module &M = Profile.module();
+  size_t N = M.Regions.size();
+  Children.assign(N, {});
+  Parent.assign(N, NoRegion);
+  InTree.assign(N, 0);
+  Root = Profile.rootRegion();
+  if (Root == NoRegion)
+    return;
+
+  // Primary parent per region: the observed dynamic parent contributing the
+  // most work.
+  std::vector<RegionId> Primary(N, NoRegion);
+  std::vector<uint64_t> BestWork(N, 0);
+  for (const RegionEdge &E : Profile.edges()) {
+    if (E.Child == Root)
+      continue; // The root keeps no parent even if recursion re-enters it.
+    if (Primary[E.Child] == NoRegion || E.Work > BestWork[E.Child]) {
+      Primary[E.Child] = E.Parent;
+      BestWork[E.Child] = E.Work;
+    }
+  }
+
+  auto IsCandidate = [&](RegionId R) {
+    return M.Regions[R].Kind != RegionKind::Body &&
+           Profile.entry(R).Executed;
+  };
+
+  // Attach every executed candidate to its nearest candidate ancestor,
+  // walking primary-parent links through Body regions. A cycle (recursion)
+  // or a dead end attaches to the root.
+  for (RegionId R = 0; R < N; ++R) {
+    if (!IsCandidate(R) || R == Root)
+      continue;
+    RegionId P = Primary[R];
+    unsigned Hops = 0;
+    while (P != NoRegion && !IsCandidate(P) && Hops < N + 1) {
+      P = Primary[P];
+      ++Hops;
+    }
+    if (P == NoRegion || Hops >= N + 1 || P == R)
+      P = Root;
+    Parent[R] = P;
+    Children[P].push_back(R);
+  }
+
+  // Preorder walk from the root, breaking any residual cycles with a
+  // visited check; unreachable candidates are re-attached to the root.
+  std::vector<char> Visited(N, 0);
+  std::vector<RegionId> Stack = {Root};
+  Visited[Root] = 1;
+  InTree[Root] = 1;
+  while (!Stack.empty()) {
+    RegionId R = Stack.back();
+    Stack.pop_back();
+    Preorder.push_back(R);
+    for (RegionId C : Children[R]) {
+      if (Visited[C])
+        continue;
+      Visited[C] = 1;
+      InTree[C] = 1;
+      Stack.push_back(C);
+    }
+  }
+  for (RegionId R = 0; R < N; ++R) {
+    if (!IsCandidate(R) || Visited[R])
+      continue;
+    // Cycle member never reached: re-root it.
+    auto &Sibs = Children[Parent[R]];
+    Sibs.erase(std::remove(Sibs.begin(), Sibs.end(), R), Sibs.end());
+    Parent[R] = Root;
+    Children[Root].push_back(R);
+    Visited[R] = 1;
+    InTree[R] = 1;
+    Preorder.push_back(R);
+  }
+}

@@ -1,0 +1,60 @@
+//===- planner/RegionTree.h - Planning region tree ---------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The region tree planners run their bottom-up algorithms over. Built from
+/// the profile's observed region graph: every executed candidate region
+/// (Function or Loop — Body regions are measurement-internal) is attached
+/// to its nearest candidate ancestor along primary (max-work) parent edges.
+/// Functions called from several regions are attached to the heaviest call
+/// site; recursion cycles are broken by attaching to the root.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_PLANNER_REGIONTREE_H
+#define KREMLIN_PLANNER_REGIONTREE_H
+
+#include "profile/ParallelismProfile.h"
+
+#include <vector>
+
+namespace kremlin {
+
+/// Tree of candidate regions for planning.
+class PlanningTree {
+public:
+  /// Builds the tree for \p Profile. The root is the profiled program's
+  /// outermost region (main's Function region).
+  explicit PlanningTree(const ParallelismProfile &Profile);
+
+  RegionId root() const { return Root; }
+
+  /// Candidate children of \p R in the tree.
+  const std::vector<RegionId> &children(RegionId R) const {
+    return Children[R];
+  }
+
+  /// Tree parent of candidate \p R (NoRegion for the root / non-members).
+  RegionId parent(RegionId R) const { return Parent[R]; }
+
+  /// All candidate regions in the tree, preorder from the root.
+  const std::vector<RegionId> &preorder() const { return Preorder; }
+
+  bool containsRegion(RegionId R) const {
+    return R < InTree.size() && InTree[R];
+  }
+
+private:
+  RegionId Root = NoRegion;
+  std::vector<std::vector<RegionId>> Children;
+  std::vector<RegionId> Parent;
+  std::vector<RegionId> Preorder;
+  std::vector<char> InTree;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_PLANNER_REGIONTREE_H

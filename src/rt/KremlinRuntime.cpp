@@ -1,0 +1,251 @@
+//===- rt/KremlinRuntime.cpp ----------------------------------------------===//
+
+#include "rt/KremlinRuntime.h"
+
+#include <algorithm>
+
+using namespace kremlin;
+
+KremlinRuntime::KremlinRuntime(const KremlinConfig &Cfg,
+                               RegionSummarySink &Sink)
+    : Cfg(Cfg), Sink(Sink), Memory(Cfg.NumLevels, Cfg.SegmentWords) {
+  assert(Cfg.NumLevels >= 1 && Cfg.NumLevels <= MaxTrackedLevels &&
+         "NumLevels outside the supported window");
+  CurInstance.assign(Cfg.NumLevels, 0);
+}
+
+void KremlinRuntime::enterRegion(RegionId R) {
+  unsigned Level = depth();
+  uint64_t Instance = ++NextInstance;
+  if (Level >= Cfg.MinLevel && Level - Cfg.MinLevel < Cfg.NumLevels) {
+    // Retag the slot: every shadow cell written by older same-depth regions
+    // now reads as time 0.
+    CurInstance[Level - Cfg.MinLevel] = Instance;
+  }
+  ActiveRegion A;
+  A.Static = R;
+  A.Instance = Instance;
+  Regions.push_back(std::move(A));
+  ++Stats.DynRegionEntries;
+}
+
+void KremlinRuntime::exitRegion(RegionId R) {
+  assert(!Regions.empty() && "region exit with empty region stack");
+  ActiveRegion Top = std::move(Regions.back());
+  Regions.pop_back();
+  assert(Top.Static == R && "mismatched region exit");
+  (void)R;
+
+  unsigned Level = depth(); // Level the popped region occupied.
+  bool Tracked =
+      Level >= Cfg.MinLevel && Level - Cfg.MinLevel < Cfg.NumLevels;
+  // Outside the tracked window we never measured availability times; fall
+  // back to the serial assumption cp == work so summaries stay well-formed.
+  Time Cp = Tracked ? Top.MaxTime : Top.Work;
+  // Work is a trivial upper bound... cp can exceed work only through
+  // control-dependence times carried from sibling iterations; clamp.
+  if (Cp > Top.Work)
+    Cp = Top.Work;
+
+  std::sort(Top.Children.begin(), Top.Children.end());
+  DynRegionSummary S;
+  S.Static = Top.Static;
+  S.Work = Top.Work;
+  S.Cp = Cp;
+  S.Children = std::move(Top.Children);
+  SummaryChar C = Sink.intern(std::move(S));
+
+  if (Regions.empty()) {
+    Sink.onRootExit(C);
+    return;
+  }
+  ActiveRegion &Parent = Regions.back();
+  Parent.Work += Top.Work;
+  // Linear scan: regions have few distinct child characters in practice
+  // (that is exactly why the dictionary compression works).
+  for (auto &[Char, Count] : Parent.Children) {
+    if (Char == C) {
+      ++Count;
+      return;
+    }
+  }
+  Parent.Children.emplace_back(C, 1);
+}
+
+void KremlinRuntime::pushFrame(unsigned NumRegs) {
+  Frame F;
+  F.NumRegs = NumRegs;
+  F.Cells.assign(static_cast<size_t>(NumRegs) * Cfg.NumLevels, ShadowCell());
+  F.CdBase = CdMerge.size();
+  Frames.push_back(std::move(F));
+}
+
+void KremlinRuntime::popFrame() {
+  assert(!Frames.empty() && "popFrame with no frames");
+  // Abandon control dependences opened in this frame (early returns).
+  CdMerge.resize(Frames.back().CdBase);
+  CdPushBlock.resize(Frames.back().CdBase);
+  CdCells.resize(CdMerge.size() * Cfg.NumLevels);
+  Frames.pop_back();
+}
+
+void KremlinRuntime::copyParamFromCaller(ValueId DstParam,
+                                         ValueId SrcArgInCaller) {
+  assert(Frames.size() >= 2 && "no caller frame");
+  Frame &Callee = Frames[Frames.size() - 1];
+  Frame &Caller = Frames[Frames.size() - 2];
+  for (unsigned Slot = 0; Slot < Cfg.NumLevels; ++Slot)
+    Callee.Cells[static_cast<size_t>(DstParam) * Cfg.NumLevels + Slot] =
+        Caller.Cells[static_cast<size_t>(SrcArgInCaller) * Cfg.NumLevels +
+                     Slot];
+}
+
+void KremlinRuntime::copyReturnToCaller(ValueId DstInCaller,
+                                        ValueId SrcInCallee) {
+  assert(Frames.size() >= 2 && "no caller frame");
+  Frame &Callee = Frames[Frames.size() - 1];
+  Frame &Caller = Frames[Frames.size() - 2];
+  for (unsigned Slot = 0; Slot < Cfg.NumLevels; ++Slot)
+    Caller.Cells[static_cast<size_t>(DstInCaller) * Cfg.NumLevels + Slot] =
+        Callee.Cells[static_cast<size_t>(SrcInCallee) * Cfg.NumLevels + Slot];
+}
+
+void KremlinRuntime::onCondBranch(ValueId CondReg, uint32_t MergeBlock,
+                                  uint32_t PushBlock) {
+  unsigned Lat = Cfg.Latency.latencyFor(Opcode::CondBr);
+  addWork(Lat);
+  ++Stats.DynInstructions;
+  Frame &F = curFrame();
+  unsigned Slots = activeSlots();
+
+  // Branch availability per slot: max(enclosing control dep, condition) +
+  // latency. When the top entry already targets the same merge block (a
+  // loop back edge re-branching every iteration, or an if re-entered in a
+  // new iteration) the new branch instance REPLACES it: each dynamic branch
+  // is its own control dependence, so a counted loop whose condition only
+  // reads broken induction chains does not serialize its iterations, while
+  // a data-dependent condition (while (err > tol)) still does — its time
+  // flows in through CondReg. The enclosing dependence is the entry below
+  // the one being replaced.
+  bool Coalesce = CdMerge.size() > F.CdBase &&
+                  CdMerge.back() == MergeBlock &&
+                  CdPushBlock.back() == PushBlock;
+  size_t OuterIdx = CdMerge.size() - (Coalesce ? 2 : 1); // May underflow...
+  bool HasOuter = CdMerge.size() >= (Coalesce ? 2u : 1u) &&
+                  OuterIdx + 1 > F.CdBase; // ...guarded here.
+  Time NewT[MaxTrackedLevels];
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    Time T = 0;
+    if (HasOuter) {
+      const ShadowCell &Cell = CdCells[OuterIdx * Cfg.NumLevels + Slot];
+      if (Cell.Tag == CurInstance[Slot])
+        T = Cell.T;
+    }
+    Time Tc = readRegTime(F, CondReg, Slot);
+    if (Tc > T)
+      T = Tc;
+    NewT[Slot] = T + Lat;
+  }
+
+  if (!Coalesce) {
+    CdMerge.push_back(MergeBlock);
+    CdPushBlock.push_back(PushBlock);
+    CdCells.resize(CdCells.size() + Cfg.NumLevels);
+  }
+  size_t Base = (CdMerge.size() - 1) * Cfg.NumLevels;
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    CdCells[Base + Slot].Tag = CurInstance[Slot];
+    CdCells[Base + Slot].T = NewT[Slot];
+    noteTime(Slot, NewT[Slot]);
+  }
+  // Slots beyond the active depth keep stale tags and read as 0.
+}
+
+void KremlinRuntime::onOp(Opcode Op, ValueId Dst, ValueId A, ValueId B,
+                          bool BreakDepA) {
+  unsigned Lat = Cfg.Latency.latencyFor(Op);
+  addWork(Lat);
+  ++Stats.DynInstructions;
+  if (Frames.empty())
+    return;
+  Frame &F = curFrame();
+  unsigned Slots = activeSlots();
+
+  // Constant materializations only exist because the IR spells immediates
+  // out as instructions; in LLVM they are operands with no availability
+  // time. Treat them (and address-base constants) as available at time 0,
+  // independent of control dependences — otherwise a loop's control chain
+  // would leak into every literal used inside the loop.
+  if (Op == Opcode::ConstInt || Op == Opcode::ConstFloat ||
+      Op == Opcode::GlobalAddr || Op == Opcode::FrameAddr) {
+    for (unsigned Slot = 0; Slot < Slots; ++Slot)
+      writeRegTime(F, Dst, Slot, 0);
+    return;
+  }
+
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    // Induction/reduction updates (BreakDepA) ignore both the old value and
+    // the control dependence: the iteration-existence test of a counted
+    // loop is exactly the easy-to-break dependence the rule removes.
+    Time T = BreakDepA ? 0 : controlDepTime(Slot);
+    if (A != NoValue && !BreakDepA) {
+      Time Ta = readRegTime(F, A, Slot);
+      if (Ta > T)
+        T = Ta;
+    }
+    if (B != NoValue) {
+      Time Tb = readRegTime(F, B, Slot);
+      if (Tb > T)
+        T = Tb;
+    }
+    T += Lat;
+    if (Dst != NoValue)
+      writeRegTime(F, Dst, Slot, T);
+    noteTime(Slot, T);
+  }
+}
+
+void KremlinRuntime::onLoad(ValueId Dst, ValueId AddrReg, uint64_t Addr) {
+  unsigned Lat = Cfg.Latency.latencyFor(Opcode::Load);
+  addWork(Lat);
+  ++Stats.DynInstructions;
+  ++Stats.Loads;
+  Frame &F = curFrame();
+  unsigned Slots = activeSlots();
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    Time T = controlDepTime(Slot);
+    Time Ta = readRegTime(F, AddrReg, Slot);
+    if (Ta > T)
+      T = Ta;
+    Time Tm = Memory.read(Addr, Slot, CurInstance[Slot]);
+    if (Tm > T)
+      T = Tm;
+    T += Lat;
+    writeRegTime(F, Dst, Slot, T);
+    noteTime(Slot, T);
+  }
+}
+
+void KremlinRuntime::onStore(ValueId ValReg, ValueId AddrReg, uint64_t Addr) {
+  unsigned Lat = Cfg.Latency.latencyFor(Opcode::Store);
+  addWork(Lat);
+  ++Stats.DynInstructions;
+  ++Stats.Stores;
+  Frame &F = curFrame();
+  unsigned Slots = activeSlots();
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    Time T = controlDepTime(Slot);
+    Time Tv = readRegTime(F, ValReg, Slot);
+    if (Tv > T)
+      T = Tv;
+    Time Ta = readRegTime(F, AddrReg, Slot);
+    if (Ta > T)
+      T = Ta;
+    T += Lat;
+    // True (flow) dependences only: the previous time at this address is
+    // deliberately ignored — anti and output dependences are false
+    // dependences that an ideal parallelization removes (§4.1).
+    Memory.write(Addr, Slot, CurInstance[Slot], T);
+    noteTime(Slot, T);
+  }
+}

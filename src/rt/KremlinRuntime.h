@@ -1,0 +1,231 @@
+//===- rt/KremlinRuntime.h - The KremLib-equivalent runtime -----*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation runtime (the paper's KremLib): hierarchical critical
+/// path analysis driven by per-instruction hooks. For every executed
+/// operation it propagates availability times at every active nesting
+/// level; for every dynamic region it tracks work and critical-path length
+/// and emits a summary into a RegionSummarySink on exit.
+///
+/// Level model: the dynamic region stack index is the nesting level. A
+/// configurable depth window [MinLevel, MinLevel + NumLevels) selects which
+/// levels carry shadow timestamps (the paper's command-line flag for
+/// partitioned HCPA collection); regions outside the window still measure
+/// work, and report cp == work (serial assumption), which keeps parent
+/// summaries well-formed.
+///
+/// Stale-data rejection: each level slot has a current region-instance id;
+/// every shadow cell (registers, memory, control-dependence entries) is
+/// tagged by the instance that wrote it and reads as time 0 under a tag
+/// mismatch — the paper's mechanism for safely sharing one slot among all
+/// same-depth regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_RT_KREMLINRUNTIME_H
+#define KREMLIN_RT_KREMLINRUNTIME_H
+
+#include "ir/Instruction.h"
+#include "rt/RegionSummary.h"
+#include "rt/ShadowMemory.h"
+#include "rt/Timestamp.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace kremlin {
+
+/// Hard cap on the depth-window width (stack buffers size to this).
+inline constexpr unsigned MaxTrackedLevels = 64;
+
+/// Runtime configuration (the kremlin command-line knobs this reproduction
+/// models).
+struct KremlinConfig {
+  /// First tracked nesting level (0 = the outermost function region).
+  unsigned MinLevel = 0;
+  /// Number of tracked levels (width of the shadow level arrays).
+  unsigned NumLevels = 16;
+  /// Shadow-memory page size in words.
+  uint64_t SegmentWords = 4096;
+  LatencyModel Latency;
+};
+
+/// Counters exposed for the overhead and compression experiments.
+struct RuntimeStats {
+  uint64_t DynInstructions = 0;
+  uint64_t DynRegionEntries = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+};
+
+/// The HCPA runtime. One instance profiles one program execution.
+class KremlinRuntime {
+public:
+  KremlinRuntime(const KremlinConfig &Cfg, RegionSummarySink &Sink);
+
+  // --- Region lifecycle -------------------------------------------------
+
+  void enterRegion(RegionId R);
+  void exitRegion(RegionId R);
+  unsigned depth() const { return static_cast<unsigned>(Regions.size()); }
+
+  // --- Call frames (shadow register tables, §4.1) -------------------------
+
+  void pushFrame(unsigned NumRegs);
+  void popFrame();
+  /// Copies an argument's times from the caller frame (one below top) into
+  /// a parameter register of the callee frame (top).
+  void copyParamFromCaller(ValueId DstParam, ValueId SrcArgInCaller);
+  /// Copies the return value's times from the callee frame (top) into a
+  /// register of the caller frame (one below top).
+  void copyReturnToCaller(ValueId DstInCaller, ValueId SrcInCallee);
+
+  // --- Control dependence (§4.1) ------------------------------------------
+
+  /// Executes a conditional branch in block \p PushBlock: accounts its
+  /// work/time and pushes its control dependence. The scope of one dynamic
+  /// branch ends when control reaches \p MergeBlock (the immediate
+  /// post-dominator) — or returns to \p PushBlock itself, which means a new
+  /// dynamic instance of the same branch is about to execute (loop back
+  /// edge). Ending the scope at re-entry keeps a counted loop's iterations
+  /// from serializing through the loop test once induction chains are
+  /// broken, while a data-dependent test still serializes through the
+  /// condition value itself.
+  void onCondBranch(ValueId CondReg, uint32_t MergeBlock,
+                    uint32_t PushBlock);
+
+  /// Pops control-dependence scopes that end at \p Block. Call on every
+  /// block entry.
+  void popControlDepsAtBlock(uint32_t Block) {
+    while (CdMerge.size() > curFrame().CdBase &&
+           (CdMerge.back() == Block ||
+            CdPushBlock[CdMerge.size() - 1] == Block))
+      popControlDep();
+  }
+
+  // --- Instruction hooks ----------------------------------------------------
+
+  /// Generic operation: Dst = op(A, B) with latency from \p Op. Pass
+  /// NoValue for unused operands/result. \p BreakDepA ignores the data
+  /// dependence on A (induction/reduction update rule).
+  void onOp(Opcode Op, ValueId Dst, ValueId A, ValueId B, bool BreakDepA);
+
+  void onLoad(ValueId Dst, ValueId AddrReg, uint64_t Addr);
+  void onStore(ValueId ValReg, ValueId AddrReg, uint64_t Addr);
+
+  /// Releases shadow segments for a frame's array storage when it dies.
+  void releaseShadowRange(uint64_t Addr, uint64_t Words) {
+    Memory.releaseRange(Addr, Words);
+  }
+
+  const RuntimeStats &stats() const { return Stats; }
+  const KremlinConfig &config() const { return Cfg; }
+  uint64_t shadowBytes() const { return Memory.allocatedBytes(); }
+
+  /// Work accumulated by the innermost active region so far (testing aid).
+  uint64_t currentWork() const {
+    return Regions.empty() ? 0 : Regions.back().Work;
+  }
+  /// Running critical-path max of the innermost region (testing aid).
+  Time currentMaxTime() const {
+    return Regions.empty() ? 0 : Regions.back().MaxTime;
+  }
+
+private:
+  /// One active dynamic region (a region-stack entry).
+  struct ActiveRegion {
+    RegionId Static = NoRegion;
+    uint64_t Instance = 0;
+    Time MaxTime = 0;
+    uint64_t Work = 0;
+    /// Accumulated (child character, count); sorted at exit.
+    std::vector<std::pair<SummaryChar, uint64_t>> Children;
+  };
+
+  /// One shadow register frame.
+  struct Frame {
+    std::vector<ShadowCell> Cells; ///< NumRegs x NumLevels.
+    unsigned NumRegs = 0;
+    size_t CdBase = 0; ///< Control-dep stack watermark at frame entry.
+  };
+
+  KremlinConfig Cfg;
+  RegionSummarySink &Sink;
+  ShadowMemory Memory;
+  RuntimeStats Stats;
+
+  std::vector<ActiveRegion> Regions;
+  std::vector<Frame> Frames;
+  /// Current region-instance id per level slot.
+  std::vector<uint64_t> CurInstance;
+  uint64_t NextInstance = 0;
+
+  /// Control-dependence stack: one merge block + push block + NumLevels
+  /// cells per entry.
+  std::vector<uint32_t> CdMerge;
+  std::vector<uint32_t> CdPushBlock;
+  std::vector<ShadowCell> CdCells;
+
+  Frame &curFrame() {
+    assert(!Frames.empty() && "no active frame");
+    return Frames.back();
+  }
+
+  /// Number of level slots active right now: levels [MinLevel, depth)
+  /// clipped to the window.
+  unsigned activeSlots() const {
+    unsigned Depth = depth();
+    if (Depth <= Cfg.MinLevel)
+      return 0;
+    unsigned Active = Depth - Cfg.MinLevel;
+    return Active < Cfg.NumLevels ? Active : Cfg.NumLevels;
+  }
+
+  Time readRegTime(const Frame &F, ValueId Reg, unsigned Slot) const {
+    const ShadowCell &Cell = F.Cells[static_cast<size_t>(Reg) *
+                                         Cfg.NumLevels +
+                                     Slot];
+    return Cell.Tag == CurInstance[Slot] ? Cell.T : 0;
+  }
+
+  void writeRegTime(Frame &F, ValueId Reg, unsigned Slot, Time T) {
+    ShadowCell &Cell =
+        F.Cells[static_cast<size_t>(Reg) * Cfg.NumLevels + Slot];
+    Cell.Tag = CurInstance[Slot];
+    Cell.T = T;
+  }
+
+  Time controlDepTime(unsigned Slot) const {
+    if (CdMerge.size() <= Frames.back().CdBase)
+      return 0;
+    const ShadowCell &Cell =
+        CdCells[(CdMerge.size() - 1) * Cfg.NumLevels + Slot];
+    return Cell.Tag == CurInstance[Slot] ? Cell.T : 0;
+  }
+
+  void popControlDep() {
+    CdMerge.pop_back();
+    CdPushBlock.pop_back();
+    CdCells.resize(CdCells.size() - Cfg.NumLevels);
+  }
+
+  void noteTime(unsigned Slot, Time T) {
+    ActiveRegion &R = Regions[Cfg.MinLevel + Slot];
+    if (T > R.MaxTime)
+      R.MaxTime = T;
+  }
+
+  void addWork(uint64_t Lat) {
+    if (!Regions.empty())
+      Regions.back().Work += Lat;
+  }
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_RT_KREMLINRUNTIME_H

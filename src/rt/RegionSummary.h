@@ -1,0 +1,76 @@
+//===- rt/RegionSummary.h - Dynamic region summaries -------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The record the HCPA runtime produces when a dynamic region exits (paper
+/// §4.2: "This summary contains the static region ID, the total work in the
+/// region, and the critical path length"), plus the sink interface the
+/// runtime streams summaries into. The production sink is the dictionary
+/// compressor (src/compress); tests use simple recording sinks.
+///
+/// Children are described in terms of already-interned summaries — a sorted
+/// (character, frequency) list — exactly the alphabet representation of
+/// §4.4 ("the children used in the tuple are defined in terms of the
+/// existing alphabet rather than the raw region info").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_RT_REGIONSUMMARY_H
+#define KREMLIN_RT_REGIONSUMMARY_H
+
+#include "ir/Region.h"
+#include "rt/Timestamp.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kremlin {
+
+/// Index of an interned summary in the compressor's alphabet.
+using SummaryChar = uint32_t;
+
+/// One dynamic region instance's summary at exit.
+struct DynRegionSummary {
+  RegionId Static = NoRegion;
+  /// Total work executed while the region was live (self + children).
+  uint64_t Work = 0;
+  /// Critical-path length at this region's nesting level.
+  Time Cp = 0;
+  /// Sorted (child character, occurrence count) pairs.
+  std::vector<std::pair<SummaryChar, uint64_t>> Children;
+
+  /// Total dynamic children (sum of frequencies) — for loops this is the
+  /// iteration count used by DOALL detection.
+  uint64_t numDynamicChildren() const {
+    uint64_t N = 0;
+    for (const auto &[C, Freq] : Children)
+      N += Freq;
+    return N;
+  }
+
+  bool operator==(const DynRegionSummary &O) const {
+    return Static == O.Static && Work == O.Work && Cp == O.Cp &&
+           Children == O.Children;
+  }
+};
+
+/// Receives summaries as dynamic regions exit. intern() must return a
+/// stable character for equal summaries (the dictionary compression step);
+/// onRootExit() is called when a top-level region (main) exits.
+class RegionSummarySink {
+public:
+  virtual ~RegionSummarySink() = default;
+
+  /// Interns \p Summary and returns its character.
+  virtual SummaryChar intern(DynRegionSummary Summary) = 0;
+
+  /// Notes that the outermost region exited with character \p Root.
+  virtual void onRootExit(SummaryChar Root) = 0;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_RT_REGIONSUMMARY_H

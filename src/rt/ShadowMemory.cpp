@@ -1,0 +1,19 @@
+//===- rt/ShadowMemory.cpp ------------------------------------------------===//
+
+#include "rt/ShadowMemory.h"
+
+using namespace kremlin;
+
+void ShadowMemory::releaseRange(uint64_t Addr, uint64_t Words) {
+  if (Words == 0)
+    return;
+  uint64_t FirstSeg = (Addr + SegmentWords - 1) / SegmentWords;
+  uint64_t LastSeg = (Addr + Words) / SegmentWords; // Exclusive.
+  for (uint64_t Seg = FirstSeg; Seg < LastSeg && Seg < Directory.size();
+       ++Seg) {
+    if (Directory[Seg]) {
+      Directory[Seg].reset();
+      --AllocatedSegments;
+    }
+  }
+}

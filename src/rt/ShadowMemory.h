@@ -1,0 +1,98 @@
+//===- rt/ShadowMemory.h - Hierarchical shadow memory -----------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-level shadow memory of paper §4.1-4.2. Every tracked word of
+/// program memory carries a fixed-size array of per-nesting-level shadow
+/// cells; each cell holds an availability time plus the region-instance tag
+/// that wrote it. Reading a cell whose tag does not match the current
+/// region instance at that level yields time 0 ("discarding the data if
+/// there is a mismatch and assuming time 0 instead") — this is how one slot
+/// is safely reused by the many same-depth regions of the program.
+///
+/// Storage is a two-level table: a page directory of lazily allocated
+/// segments ("Kremlin allocates table entries only when they are needed"),
+/// mirroring the paper's dynamic shadow-memory allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_RT_SHADOWMEMORY_H
+#define KREMLIN_RT_SHADOWMEMORY_H
+
+#include "rt/Timestamp.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kremlin {
+
+/// One (time, writer-instance-tag) shadow cell.
+struct ShadowCell {
+  uint64_t Tag = 0;
+  Time T = 0;
+};
+
+/// Two-level, lazily allocated shadow memory over word addresses.
+class ShadowMemory {
+public:
+  /// \p NumLevels is the size of the per-word level array (the depth window
+  /// width); \p SegmentWords is the page size of the lazy second level.
+  explicit ShadowMemory(unsigned NumLevels, uint64_t SegmentWords = 4096)
+      : NumLevels(NumLevels), SegmentWords(SegmentWords) {}
+
+  /// Reads the time for \p Addr at level slot \p Slot, tag-checked against
+  /// \p Tag: a missing segment or stale tag reads as 0.
+  Time read(uint64_t Addr, unsigned Slot, uint64_t Tag) const {
+    uint64_t Seg = Addr / SegmentWords;
+    if (Seg >= Directory.size() || !Directory[Seg])
+      return 0;
+    const ShadowCell &Cell =
+        Directory[Seg][(Addr % SegmentWords) * NumLevels + Slot];
+    return Cell.Tag == Tag ? Cell.T : 0;
+  }
+
+  /// Writes time \p T for \p Addr at level slot \p Slot with tag \p Tag,
+  /// allocating the segment on first touch.
+  void write(uint64_t Addr, unsigned Slot, uint64_t Tag, Time T) {
+    uint64_t Seg = Addr / SegmentWords;
+    if (Seg >= Directory.size())
+      Directory.resize(Seg + 1);
+    if (!Directory[Seg]) {
+      Directory[Seg] =
+          std::make_unique<ShadowCell[]>(SegmentWords * NumLevels);
+      ++AllocatedSegments;
+    }
+    ShadowCell &Cell =
+        Directory[Seg][(Addr % SegmentWords) * NumLevels + Slot];
+    Cell.Tag = Tag;
+    Cell.T = T;
+  }
+
+  /// Drops the segments covering [\p Addr, \p Addr + \p Words): the
+  /// free()-driven reclamation hook of the paper. Partially covered
+  /// segments are kept.
+  void releaseRange(uint64_t Addr, uint64_t Words);
+
+  unsigned numLevels() const { return NumLevels; }
+  uint64_t segmentWords() const { return SegmentWords; }
+  uint64_t allocatedSegments() const { return AllocatedSegments; }
+
+  /// Shadow bytes currently allocated (for overhead reporting).
+  uint64_t allocatedBytes() const {
+    return AllocatedSegments * SegmentWords * NumLevels * sizeof(ShadowCell);
+  }
+
+private:
+  unsigned NumLevels;
+  uint64_t SegmentWords;
+  std::vector<std::unique_ptr<ShadowCell[]>> Directory;
+  uint64_t AllocatedSegments = 0;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_RT_SHADOWMEMORY_H

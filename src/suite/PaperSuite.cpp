@@ -1,0 +1,482 @@
+//===- suite/PaperSuite.cpp -----------------------------------------------===//
+
+#include "suite/PaperSuite.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace kremlin;
+
+namespace {
+
+// --- Site templates ---------------------------------------------------------
+
+/// Hot fully parallel loop: in both plans.
+SiteSpec hotDoall(unsigned Iters = 256, unsigned Work = 8) {
+  SiteSpec S;
+  S.Kind = SiteKind::HotDoall;
+  S.Iters = Iters;
+  S.Work = Work;
+  S.ManualOuter = true;
+  return S;
+}
+
+/// Hot parallel loop only Kremlin found (missed by the third party).
+SiteSpec kremlinOnlyDoall(unsigned Iters = 256, unsigned Work = 8) {
+  SiteSpec S = hotDoall(Iters, Work);
+  S.ManualOuter = false;
+  return S;
+}
+
+/// Negligible-benefit loop MANUAL parallelized anyway (fails Kremlin's
+/// ideal-speedup threshold).
+SiteSpec smallDoall() {
+  SiteSpec S;
+  S.Kind = SiteKind::SmallDoall;
+  S.Iters = 6;
+  S.Work = 1;
+  S.ManualOuter = true;
+  return S;
+}
+
+/// Mid-size DOACROSS MANUAL kept; below Kremlin's 3% DOACROSS threshold
+/// but still mildly profitable on the machine — the source of MANUAL's
+/// ~3.8% average edge.
+SiteSpec manualDoacross() {
+  SiteSpec S;
+  S.Kind = SiteKind::Doacross;
+  S.Iters = 64;
+  S.Work = 12;
+  S.ManualOuter = true;
+  return S;
+}
+
+/// Hot DOACROSS that clears the 3% whole-program threshold.
+SiteSpec hotDoacross() {
+  SiteSpec S;
+  S.Kind = SiteKind::Doacross;
+  S.Iters = 256;
+  S.Work = 12;
+  S.ManualOuter = false; // The third party missed it (ammp shape).
+  return S;
+}
+
+/// Hot loop whose self-parallelism sits just below Kremlin's 5.0 cutoff:
+/// MANUAL parallelized it profitably anyway (min(SP, cores)-way parallel is
+/// still real speedup) — the honest mechanism behind art's 0.88x.
+SiteSpec lowSpDoacross(unsigned Iters = 512) {
+  SiteSpec S;
+  S.Kind = SiteKind::Doacross;
+  S.Iters = Iters;
+  S.Work = 4; // SP = (3*4+6)/4 = 4.5 < 5.0.
+  S.ManualOuter = true;
+  return S;
+}
+
+/// Reduction with too little work to amortize OpenMP reduction overhead.
+SiteSpec reductionLight(bool InManual) {
+  SiteSpec S;
+  S.Kind = SiteKind::ReductionLight;
+  S.Iters = 16;
+  S.Work = 1;
+  S.ManualOuter = InManual;
+  return S;
+}
+
+/// Coarse outer loop Kremlin recommends; MANUAL parallelized the inner
+/// loops instead (sp / is / mg shape).
+SiteSpec coarseNest(unsigned Outer = 32, unsigned Inner = 32,
+                    unsigned InnerCount = 2, unsigned Work = 4,
+                    bool InnerDoacross = false) {
+  SiteSpec S;
+  S.Kind = SiteKind::CoarseNest;
+  S.Iters = Outer;
+  S.InnerIters = Inner;
+  S.InnerCount = InnerCount;
+  S.Work = Work;
+  S.ManualOuter = false;
+  S.ManualInner = true;
+  S.InnerDoacross = InnerDoacross;
+  return S;
+}
+
+/// DOACROSS parent whose DOALL children collectively beat it — the ft/lu
+/// case where greedy planning picks the wrong region.
+SiteSpec childrenNest(unsigned InnerCount = 3) {
+  SiteSpec S;
+  S.Kind = SiteKind::ChildrenNest;
+  S.Iters = 12;
+  S.InnerIters = 96;
+  S.InnerCount = InnerCount;
+  S.Work = 10;
+  S.ManualOuter = false;
+  S.ManualInner = true;
+  return S;
+}
+
+/// Adds \p Count hot DOALL loops with a skewed size distribution: a few
+/// large regions and a tail of smaller ones, giving the concave
+/// benefit-vs-plan-fraction curve of Figure 8.
+void addHotDoalls(BenchmarkSpec &B, unsigned Count) {
+  static const unsigned Iters[] = {512, 320, 224, 160, 96};
+  static const unsigned Work[] = {10, 8, 8, 6, 6};
+  for (unsigned I = 0; I < Count; ++I)
+    B.add(hotDoall(Iters[I % 5], Work[I % 5]));
+}
+
+/// Cold/serial background sites: region-count texture for Figure 9 / §6.2.
+/// The kinds stratify the coverage/self-parallelism landscape relative to
+/// the benchmark's total work (\p WarmIters scales with program size):
+///  - serial chains and low-SP DOACROSS loops pass the gprof work cutoff
+///    but fail the self-parallelism filter (SP ~ 1 / ~3);
+///  - warm DOACROSS loops (SP ~ 10) pass both work and SP filters yet are
+///    excluded by the planner's 3% DOACROSS speedup threshold;
+///  - cold DOALLs fall below the work cutoff entirely.
+void addFiller(BenchmarkSpec &B, unsigned Count, unsigned WarmIters) {
+  unsigned W = std::max(4u, WarmIters);
+  for (unsigned I = 0; I < Count; ++I) {
+    SiteSpec S;
+    switch (I % 10) {
+    case 0: // Warm serial chain: hotspot list yes, SP filter no.
+      S.Kind = SiteKind::SerialChain;
+      S.Iters = 4 * W;
+      S.Work = 2;
+      break;
+    case 2: // Warm low-SP DOACROSS: hotspot yes, SP filter no.
+      S.Kind = SiteKind::Doacross;
+      S.Iters = 2 * W;
+      S.Work = 2;
+      break;
+    case 3:
+    case 8:
+      // Warm DOACROSS nobody parallelized: passes work + SP filters,
+      // fails the 3% DOACROSS threshold at any modest coverage (robust
+      // across program sizes, unlike a warm DOALL whose 0.1% band is
+      // razor thin). At least 16 iterations so SP clears the 5.0 cutoff.
+      S.Kind = SiteKind::Doacross;
+      S.Iters = std::max(16u, W);
+      S.Work = 12;
+      break;
+    case 5: // Tiny serial chain: below the work cutoff.
+      S.Kind = SiteKind::SerialChain;
+      S.Iters = 8;
+      S.Work = 2;
+      break;
+    case 7: // Tiny ILP-heavy serial loop: below the work cutoff;
+    case 9: // total-parallelism high, self-parallelism ~ 1 (the §6.2
+            // false-positive class that HCPA exists to catch).
+      S.Kind = SiteKind::IlpSerial;
+      S.Iters = 2;
+      S.Work = 1;
+      break;
+    default: // Cases 1, 4, 6: cold one-shot init loops.
+      S.Kind = SiteKind::ColdDoall;
+      S.Iters = 12;
+      S.Work = 1;
+      break;
+    }
+    B.Sites.push_back(S);
+  }
+}
+
+} // namespace
+
+const std::vector<std::string> &kremlin::paperBenchmarkNames() {
+  static const std::vector<std::string> Names = {
+      "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+      "ammp", "art", "equake"};
+  return Names;
+}
+
+PaperFacts kremlin::paperFacts(const std::string &Name) {
+  // Figure 6(a) plan sizes and Figure 6(b) relative speedups.
+  if (Name == "ammp")
+    return {6, 3, 2, 0.97};
+  if (Name == "art")
+    return {3, 4, 1, 0.88};
+  if (Name == "equake")
+    return {10, 6, 6, 0.98};
+  if (Name == "bt")
+    return {54, 27, 27, 0.96};
+  if (Name == "cg")
+    return {22, 9, 9, 0.97};
+  if (Name == "ep")
+    return {1, 1, 1, 1.00};
+  if (Name == "ft")
+    return {6, 6, 5, 0.96};
+  if (Name == "is")
+    return {1, 1, 0, 1.46};
+  if (Name == "lu")
+    return {28, 11, 11, 0.97};
+  if (Name == "mg")
+    return {10, 8, 7, 0.95};
+  if (Name == "sp")
+    return {70, 58, 47, 1.85};
+  kremlin_fatal("unknown paper benchmark");
+}
+
+BenchmarkSpec kremlin::paperBenchmarkSpec(const std::string &Name) {
+  BenchmarkSpec B;
+  B.Name = Name;
+  B.Timesteps = 4;
+  B.SitesPerKernel = 4;
+
+  if (Name == "bt") {
+    // MANUAL 54 / Kremlin 27 / overlap 27.
+    addHotDoalls(B, 27);
+    B.add(manualDoacross(), 2);
+    B.add(smallDoall(), 25);
+    addFiller(B, 280, 35);
+  } else if (Name == "cg") {
+    // MANUAL 22 / Kremlin 9 / overlap 9.
+    addHotDoalls(B, 9);
+    B.add(manualDoacross(), 1);
+    B.add(smallDoall(), 12);
+    addFiller(B, 130, 11);
+  } else if (Name == "ep") {
+    // MANUAL 1 / Kremlin 1 / overlap 1: one huge reduction loop.
+    SiteSpec S;
+    S.Kind = SiteKind::ReductionHeavy;
+    S.Iters = 8192;
+    S.Work = 8;
+    S.ManualOuter = true;
+    B.add(S);
+    addFiller(B, 40, 7);
+  } else if (Name == "ft") {
+    // MANUAL 6 / Kremlin 6 / overlap 5; includes the DP-vs-greedy nest.
+    B.add(childrenNest(3));
+    B.add(hotDoall(), 2);
+    B.add(kremlinOnlyDoall(64, 8), 1);
+    B.add(lowSpDoacross(128), 1);
+    addFiller(B, 150, 20);
+  } else if (Name == "is") {
+    // MANUAL 1 / Kremlin 1 / overlap 0: the coarse-vs-fine win (1.46x).
+    B.Timesteps = 2;
+    B.add(coarseNest(/*Outer=*/64, /*Inner=*/128, /*InnerCount=*/1,
+                     /*Work=*/12, /*InnerDoacross=*/true));
+    addFiller(B, 55, 46);
+  } else if (Name == "lu") {
+    // MANUAL 28 / Kremlin 11 / overlap 11.
+    B.add(childrenNest(3));
+    addHotDoalls(B, 8);
+    B.add(manualDoacross(), 2);
+    B.add(smallDoall(), 15);
+    addFiller(B, 240, 29);
+  } else if (Name == "mg") {
+    // MANUAL 10 / Kremlin 8 / overlap 7: Kremlin's extra pick is modest,
+    // MANUAL's low-SP loop gives it the slight edge of Figure 6(b).
+    addHotDoalls(B, 7);
+    B.add(kremlinOnlyDoall(64, 8), 1);
+    B.add(lowSpDoacross(256), 1);
+    B.add(smallDoall(), 2);
+    addFiller(B, 170, 11);
+  } else if (Name == "sp") {
+    // MANUAL 70 / Kremlin 58 / overlap 47: coarse regions MANUAL missed
+    // give Kremlin its 1.85x win.
+    addHotDoalls(B, 47);
+    for (unsigned I = 0; I < 11; ++I)
+      B.add(coarseNest(32, 48, /*InnerCount=*/2, /*Work=*/8,
+                       /*InnerDoacross=*/true));
+    B.add(smallDoall(), 1);
+    addFiller(B, 360, 24);
+  } else if (Name == "ammp") {
+    // MANUAL 6 / Kremlin 3 / overlap 2; light reductions MANUAL kept.
+    B.add(hotDoall(512, 12), 2);
+    B.add(hotDoacross(), 1);
+    B.add(lowSpDoacross(512), 1);
+    B.add(reductionLight(/*InManual=*/true), 1);
+    B.add(smallDoall(), 2);
+    addFiller(B, 140, 9);
+  } else if (Name == "art") {
+    // MANUAL 3 / Kremlin 4 / overlap 1. MANUAL's two low-SP hot loops give
+    // it the edge Figure 6(b) reports (0.88x).
+    B.add(hotDoall(512, 12), 1);
+    B.add(kremlinOnlyDoall(128, 8), 3);
+    B.add(lowSpDoacross(384), 2);
+    addFiller(B, 85, 7);
+  } else if (Name == "equake") {
+    // MANUAL 10 / Kremlin 6 / overlap 6.
+    addHotDoalls(B, 6);
+    B.add(smallDoall(), 4);
+    addFiller(B, 150, 8);
+  } else {
+    kremlin_fatal("unknown paper benchmark");
+  }
+  return B;
+}
+
+GeneratedBenchmark kremlin::generatePaperBenchmark(const std::string &Name) {
+  return generateBenchmark(paperBenchmarkSpec(Name));
+}
+
+std::string kremlin::trackingSource() {
+  // A MiniC rendition of the SD-VBS feature-tracking pipeline used in
+  // Figures 2 and 3: two blur passes, Sobel passes, patch interpolation
+  // (few iterations => the low Self-P of Figure 3's row 3), corner
+  // scoring, and the fillFeatures nest of Figure 2 whose outer loops are
+  // serial (argmin accumulation) while only the innermost k loop is
+  // parallel. Loop weights approximate Figure 3's coverage column.
+  return R"(// tracking.c - SD-VBS feature tracking (synthetic rendition)
+int img[4096];
+int blur[4096];
+int dx[4096];
+int dy[4096];
+int patch[1024];
+int lambda[256];
+int feat[96];
+int corners[256];
+
+void imageBlur() {
+  for (int i = 0; i < 128; i = i + 1) {
+    int x = img[i * 16 % 4096] * 4;
+    x = x + img[(i * 16 + 1) % 4096] * 6;
+    x = x + img[(i * 16 + 2) % 4096] * 4;
+    x = x / 16 + i;
+    x = x * 3 + x / 7;
+    x = x + x % 29;
+    blur[i * 16 % 4096] = x;
+  }
+  for (int i = 0; i < 128; i = i + 1) {
+    int x = blur[i * 16 % 4096] * 4;
+    x = x + blur[(i * 16 + 3) % 4096] * 6;
+    x = x + blur[(i * 16 + 5) % 4096] * 4;
+    x = x / 16 + i * 2;
+    x = x * 3 + x / 5;
+    blur[(i * 16 + 7) % 4096] = x;
+  }
+}
+
+void calcSobel_dX() {
+  for (int i = 0; i < 104; i = i + 1) {
+    int x = blur[i * 8 % 4096] - blur[(i * 8 + 2) % 4096];
+    x = x * 2 + blur[(i * 8 + 4) % 4096];
+    x = x + x / 9;
+    x = x * 5 - x / 3;
+    dx[i * 8 % 4096] = x;
+  }
+  for (int i = 0; i < 104; i = i + 1) {
+    int x = dx[i * 8 % 4096] + dx[(i * 8 + 1) % 4096] * 2;
+    x = x - dx[(i * 8 + 3) % 4096];
+    x = x + x / 11;
+    x = x * 4 - x / 7;
+    dx[(i * 8 + 5) % 4096] = x;
+  }
+}
+
+void calcSobel_dY() {
+  for (int i = 0; i < 96; i = i + 1) {
+    int x = blur[i * 8 % 4096] - blur[(i * 8 + 16) % 4096];
+    x = x * 2 + blur[(i * 8 + 32) % 4096];
+    x = x + x / 13;
+    dy[i * 8 % 4096] = x;
+  }
+}
+
+void getInterpPatch() {
+  for (int i = 0; i < 28; i = i + 1) {
+    int x = dx[i * 32 % 4096] * 3 + dy[(i * 32 + 8) % 4096];
+    x = x * 7 + x / 3;
+    x = x + x % 17;
+    x = x * 2 + x / 9;
+    x = x - x / 4;
+    x = x * 3 + 11;
+    x = x + x / 6;
+    x = x * 2 + x % 23;
+    x = x + x / 5;
+    x = x * 3 - x / 8;
+    x = x + x % 31;
+    x = x * 2 + x / 3;
+    x = x - x / 9;
+    x = x * 5 + 7;
+    x = x + x / 2;
+    x = x * 3 + x % 19;
+    x = x + x / 7;
+    x = x * 2 - x / 11;
+    x = x + x % 37;
+    x = x * 3 + x / 4;
+    x = x - x / 13;
+    x = x * 2 + 5;
+    x = x + x / 3;
+    x = x * 5 - x % 11;
+    x = x + x / 8;
+    x = x * 2 + x % 7;
+    x = x - x / 5;
+    x = x * 3 + 13;
+    x = x + x / 9;
+    x = x * 2 - x % 29;
+    x = x + x / 6;
+    x = x * 3 + x % 41;
+    x = x - x / 7;
+    x = x * 2 + 9;
+    x = x + x / 11;
+    x = x * 5 - x % 17;
+    x = x + x / 2;
+    x = x * 2 + x % 5;
+    x = x - x / 12;
+    x = x * 3 + 21;
+    x = x + x / 4;
+    x = x * 2 - x % 23;
+    x = x + x / 10;
+    x = x * 3 + x % 3;
+    x = x + x / 14;
+    patch[i * 32 % 1024] = x;
+  }
+}
+
+void findCorners() {
+  int score = corners[0];
+  for (int i = 1; i < 96; i = i + 1) {
+    score = score * 2 + corners[i] / (score % 5 + 3);
+    corners[i] = score;
+  }
+}
+
+void trackFeatures() {
+  int c = img[0] + 1;
+  for (int i = 1; i < 320; i = i + 1) {
+    c = c * 3 + img[i % 4096] / (c % 7 + 2);
+    c = c + c / 5 - blur[i % 4096] % 9;
+    c = c * 2 - c / (c % 5 + 3);
+    c = c + dx[i % 4096] % 13;
+    c = c * 3 - c / (c % 11 + 4);
+    c = c + dy[i % 4096] % 7;
+    c = c * 2 + c / 9;
+    c = c - patch[i % 1024] % 5;
+    c = c * 3 + c / (c % 3 + 2);
+    c = c + c % 19;
+    corners[i % 256] = c;
+  }
+}
+
+void fillFeatures() {
+  int best = 0;
+  for (int i = 0; i < 4; i = i + 1) {
+    for (int j = 0; j < 4; j = j + 1) {
+      int curr = lambda[i * 4 + j] + best;
+      for (int k = 0; k < 8; k = k + 1) {
+        feat[k % 96] = feat[k % 96] + curr * k + k / 3;
+      }
+      best = best + curr % 97;
+    }
+  }
+  lambda[0] = best;
+}
+
+int main() {
+  for (int i = 0; i < 256; i = i + 1) {
+    lambda[i] = (i * 37) % 251;
+  }
+  for (int f = 0; f < 4; f = f + 1) {
+    imageBlur();
+    calcSobel_dX();
+    calcSobel_dY();
+    getInterpPatch();
+    trackFeatures();
+    findCorners();
+    fillFeatures();
+  }
+  return lambda[0] % 100;
+}
+)";
+}

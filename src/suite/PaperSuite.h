@@ -1,0 +1,56 @@
+//===- suite/PaperSuite.h - The paper's benchmark suite ----------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 11 evaluation programs of the paper — NPB (bt cg ep ft is lu mg sp)
+/// and the C-language SPEC OMP2001 programs (ammp art equake) — as
+/// synthetic BenchmarkSpecs whose region structure mirrors the published
+/// facts (MANUAL plan sizes of Figure 6(a), the coarse-vs-fine sp/is shape,
+/// the ft/lu parent-vs-children planning case, the art/ammp underweight
+/// reductions, ep's single heavy reduction), plus the SD-VBS feature
+/// `tracking` program of Figures 2-3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUITE_PAPERSUITE_H
+#define KREMLIN_SUITE_PAPERSUITE_H
+
+#include "suite/BenchmarkSpec.h"
+#include "suite/SourceGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+/// Paper-reported numbers used by the bench harnesses for side-by-side
+/// reporting (Figure 6(a)).
+struct PaperFacts {
+  unsigned ManualPlanSize = 0;  ///< Regions in the MANUAL parallelization.
+  unsigned KremlinPlanSize = 0; ///< Regions in Kremlin's plan.
+  unsigned Overlap = 0;         ///< |MANUAL ∩ Kremlin|.
+  /// Relative speedup (Kremlin / MANUAL) read off Figure 6(b).
+  double RelativeSpeedup = 1.0;
+};
+
+/// Names of the 11 paper benchmarks, NPB first.
+const std::vector<std::string> &paperBenchmarkNames();
+
+/// The spec for \p Name; aborts on unknown names.
+BenchmarkSpec paperBenchmarkSpec(const std::string &Name);
+
+/// Generates \p Name's MiniC source + loop map.
+GeneratedBenchmark generatePaperBenchmark(const std::string &Name);
+
+/// Paper-reported facts for \p Name.
+PaperFacts paperFacts(const std::string &Name);
+
+/// The hand-written `tracking` program (Figures 2-3).
+std::string trackingSource();
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUITE_PAPERSUITE_H

@@ -1,0 +1,58 @@
+//===- suite/SourceGenerator.h - Spec to MiniC source ------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits MiniC source for a BenchmarkSpec and records where every loop
+/// landed (source line, role, MANUAL membership), so that after
+/// compilation the MANUAL plan can be mapped onto static region ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUITE_SOURCEGENERATOR_H
+#define KREMLIN_SUITE_SOURCEGENERATOR_H
+
+#include "ir/Module.h"
+#include "suite/BenchmarkSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+/// One emitted loop's bookkeeping.
+struct GeneratedLoop {
+  /// 1-based source line of the `for` keyword (matches the Loop region's
+  /// StartLine).
+  unsigned Line = 0;
+  unsigned SiteIndex = 0;
+  SiteKind Kind = SiteKind::HotDoall;
+  /// True for the site's outer loop, false for an inner loop.
+  bool IsOuter = true;
+  /// This loop is part of the MANUAL parallelization.
+  bool Manual = false;
+};
+
+/// A generated benchmark: source plus loop map.
+struct GeneratedBenchmark {
+  std::string Name;
+  std::string Source;
+  std::vector<GeneratedLoop> Loops;
+
+  /// Source lines of MANUAL-parallelized loops.
+  std::vector<unsigned> manualLines() const;
+};
+
+/// Generates MiniC source from \p Spec. Deterministic.
+GeneratedBenchmark generateBenchmark(const BenchmarkSpec &Spec);
+
+/// Maps loop start lines to Loop-region ids in a compiled module. Lines
+/// with no matching executed Loop region are skipped.
+std::vector<RegionId> loopRegionsAtLines(const Module &M,
+                                         const std::vector<unsigned> &Lines);
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUITE_SOURCEGENERATOR_H

@@ -1,0 +1,13 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void kremlin::reportFatalError(std::string_view Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "kremlin fatal error: %.*s (at %s:%u)\n",
+               static_cast<int>(Msg.size()), Msg.data(), File, Line);
+  std::abort();
+}

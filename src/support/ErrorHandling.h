@@ -1,0 +1,36 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable ---*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers in the spirit of llvm/Support/ErrorHandling.h:
+/// kremlin_unreachable() marks code paths that must never execute, and
+/// reportFatalError() aborts on unrecoverable environment errors (bad input
+/// files, malformed sources) with a readable message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_ERRORHANDLING_H
+#define KREMLIN_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace kremlin {
+
+/// Prints \p Msg (with file/line context) to stderr and aborts. Used for
+/// invariant violations that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(std::string_view Msg, const char *File,
+                                   unsigned Line);
+
+} // namespace kremlin
+
+/// Marks a point in code that should never be reached.
+#define kremlin_unreachable(MSG)                                               \
+  ::kremlin::reportFatalError("unreachable: " MSG, __FILE__, __LINE__)
+
+/// Aborts with \p MSG when an unrecoverable (non-programmatic) error occurs.
+#define kremlin_fatal(MSG) ::kremlin::reportFatalError(MSG, __FILE__, __LINE__)
+
+#endif // KREMLIN_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,63 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic PRNG. All randomized behaviour in the
+/// project (workload generation, property tests) goes through this class so
+/// experiments are exactly reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_PRNG_H
+#define KREMLIN_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace kremlin {
+
+/// Small, fast, deterministic PRNG (SplitMix64).
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "nextInRange requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_PRNG_H

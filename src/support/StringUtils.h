@@ -1,0 +1,49 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting and manipulation helpers used across the project:
+/// printf-style formatting into std::string, numeric formatting matching the
+/// paper's tables (fixed decimals, percentages, human-readable byte sizes),
+/// and splitting/trimming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_STRINGUTILS_H
+#define KREMLIN_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kremlin {
+
+/// printf-style formatting that returns a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats \p Value with \p Decimals fractional digits ("145.3").
+std::string formatFixed(double Value, unsigned Decimals);
+
+/// Formats \p Value as a percentage with \p Decimals digits ("9.7%").
+std::string formatPercent(double Value, unsigned Decimals);
+
+/// Formats a byte count with a binary-unit suffix ("17.9 GB", "150 KB").
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats a ratio as a speedup/size factor ("1.57x", "119000x").
+std::string formatFactor(double Ratio, unsigned Decimals = 2);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_STRINGUTILS_H

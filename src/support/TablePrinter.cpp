@@ -1,0 +1,101 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace kremlin;
+
+/// Returns true if \p Cell looks numeric (digits, '.', '-', '%', 'x'),
+/// in which case it is right-aligned like the paper's tables.
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  bool SawDigit = false;
+  for (char C : Cell) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == '-' || C == '+' || C == '%' || C == 'x' || C == ',')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(Row{std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TablePrinter::addSeparator() {
+  Rows.push_back(Row{{}, /*IsSeparator=*/true});
+}
+
+size_t TablePrinter::numRows() const {
+  size_t N = 0;
+  for (const Row &R : Rows)
+    if (!R.IsSeparator)
+      ++N;
+  return N;
+}
+
+std::string TablePrinter::render() const {
+  size_t NumCols = Header.size();
+  for (const Row &R : Rows)
+    NumCols = std::max(NumCols, R.Cells.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = std::max(Widths[I], Header[I].size());
+  for (const Row &R : Rows)
+    for (size_t I = 0; I < R.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+
+  auto RenderCells = [&](const std::vector<std::string> &Cells,
+                         std::string &Out) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      size_t Pad = Widths[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+      if (I + 1 < NumCols)
+        Out += "  ";
+    }
+    // Trim trailing padding so lines end at content.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W;
+  TotalWidth += NumCols > 1 ? 2 * (NumCols - 1) : 0;
+
+  if (!Header.empty()) {
+    RenderCells(Header, Out);
+    Out.append(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    RenderCells(R.Cells, Out);
+  }
+  return Out;
+}

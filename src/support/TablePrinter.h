@@ -1,0 +1,52 @@
+//===- support/TablePrinter.h - Aligned text tables --------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table rendering used by the planner UI
+/// (Figure 3) and by every bench binary that regenerates a paper table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_TABLEPRINTER_H
+#define KREMLIN_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+/// Accumulates rows of string cells and renders them with padded,
+/// space-separated columns. Numeric-looking cells are right-aligned.
+class TablePrinter {
+public:
+  /// Sets the header row. Column count is inferred from it.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the full table, one trailing newline included.
+  std::string render() const;
+
+  /// Number of data rows added so far (separators excluded).
+  size_t numRows() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_TABLEPRINTER_H

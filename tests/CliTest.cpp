@@ -1,0 +1,106 @@
+//===- tests/CliTest.cpp - kremlin CLI smoke tests ------------------------===//
+//
+// Exercises the `kremlin` command-line tool end to end via std::system.
+// The binary path is injected by CMake as KREMLIN_TOOL_PATH.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string runTool(const std::string &Args, int &ExitCode) {
+  std::string OutPath = ::testing::TempDir() + "/kremlin_cli_out.txt";
+  std::string Cmd = std::string(KREMLIN_TOOL_PATH) + " " + Args + " > " +
+                    OutPath + " 2>&1";
+  ExitCode = std::system(Cmd.c_str());
+  std::ifstream In(OutPath);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::remove(OutPath.c_str());
+  return SS.str();
+}
+
+TEST(Cli, TrackingPlan) {
+  int Code = 0;
+  std::string Out = runTool("--tracking", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("Parallelism plan"), std::string::npos);
+  EXPECT_NE(Out.find("tracking.c"), std::string::npos);
+  EXPECT_NE(Out.find("Self-P"), std::string::npos);
+}
+
+TEST(Cli, BenchWithStats) {
+  int Code = 0;
+  std::string Out = runTool("--bench=ep --stats --rows=3", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("dynamic instructions"), std::string::npos);
+  EXPECT_NE(Out.find("compressed size"), std::string::npos);
+}
+
+TEST(Cli, SourceFileAndDumpIr) {
+  std::string SrcPath = ::testing::TempDir() + "/kremlin_cli_src.c";
+  {
+    std::ofstream Src(SrcPath);
+    Src << "int main() { int s = 0; for (int i = 0; i < 8; i = i + 1)"
+           " { s = s + i; } return s; }\n";
+  }
+  int Code = 0;
+  std::string Out = runTool(SrcPath + " --dump-ir", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("func @main"), std::string::npos);
+  EXPECT_NE(Out.find("region.enter"), std::string::npos);
+  EXPECT_NE(Out.find("; reduction"), std::string::npos);
+
+  Out = runTool(SrcPath + " --profile", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("program work"), std::string::npos);
+  std::remove(SrcPath.c_str());
+}
+
+TEST(Cli, SaveTrace) {
+  std::string TracePath = ::testing::TempDir() + "/kremlin_cli_trace.txt";
+  int Code = 0;
+  std::string Out =
+      runTool("--bench=is --save-trace=" + TracePath + " --rows=1", Code);
+  EXPECT_EQ(Code, 0);
+  std::ifstream Trace(TracePath);
+  ASSERT_TRUE(Trace.good());
+  std::string FirstLine;
+  std::getline(Trace, FirstLine);
+  EXPECT_EQ(FirstLine, "kremlin-trace 1");
+  std::remove(TracePath.c_str());
+}
+
+TEST(Cli, ErrorPathsExitNonZero) {
+  int Code = 0;
+  runTool("/no/such/file.c", Code);
+  EXPECT_NE(Code, 0);
+  runTool("--unknown-flag", Code);
+  EXPECT_NE(Code, 0);
+  runTool("", Code); // No input.
+  EXPECT_NE(Code, 0);
+}
+
+TEST(Cli, ExclusionChangesPlan) {
+  int Code = 0;
+  std::string Before = runTool("--tracking --rows=1", Code);
+  ASSERT_EQ(Code, 0);
+  // Region ids are stable; excluding a nonexistent id is a no-op while a
+  // large exclusion list still produces a plan.
+  std::string After = runTool("--tracking --rows=1 --exclude=999999", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_EQ(Before, After);
+  // Raising the SP cutoff empties the plan.
+  std::string Tight = runTool("--tracking --min-sp=1e9", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_EQ(Tight.find("DOALL"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- tests/CompressTest.cpp - dictionary compression --------------------===//
+
+#include "TestUtil.h"
+
+#include "compress/Dictionary.h"
+#include "support/StringUtils.h"
+
+using namespace kremlin;
+using namespace kremlin::test;
+
+namespace {
+
+DynRegionSummary makeSummary(RegionId R, uint64_t Work, Time Cp,
+                             std::vector<std::pair<SummaryChar, uint64_t>>
+                                 Children = {}) {
+  DynRegionSummary S;
+  S.Static = R;
+  S.Work = Work;
+  S.Cp = Cp;
+  S.Children = std::move(Children);
+  return S;
+}
+
+TEST(Dictionary, InternDeduplicates) {
+  DictionaryCompressor D;
+  SummaryChar A = D.intern(makeSummary(1, 100, 10));
+  SummaryChar B = D.intern(makeSummary(1, 100, 10));
+  SummaryChar C = D.intern(makeSummary(1, 100, 11));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(D.alphabet().size(), 2u);
+  EXPECT_EQ(D.numDynamicRegions(), 3u);
+}
+
+TEST(Dictionary, ChildrenDistinguishEntries) {
+  DictionaryCompressor D;
+  SummaryChar Leaf = D.intern(makeSummary(2, 10, 5));
+  SummaryChar P1 = D.intern(makeSummary(1, 100, 10, {{Leaf, 3}}));
+  SummaryChar P2 = D.intern(makeSummary(1, 100, 10, {{Leaf, 4}}));
+  SummaryChar P3 = D.intern(makeSummary(1, 100, 10, {{Leaf, 3}}));
+  EXPECT_NE(P1, P2);
+  EXPECT_EQ(P1, P3);
+}
+
+TEST(Dictionary, MultiplicitiesPropagateDownward) {
+  // leaf x100 under mid, mid x10 under root: leaf stands for 1000 dynamic
+  // regions while the alphabet holds 3 entries.
+  DictionaryCompressor D;
+  SummaryChar Leaf = D.intern(makeSummary(3, 10, 5));
+  SummaryChar Mid = D.intern(makeSummary(2, 1000, 50, {{Leaf, 100}}));
+  SummaryChar Root = D.intern(makeSummary(1, 10000, 500, {{Mid, 10}}));
+  D.onRootExit(Root);
+  std::vector<uint64_t> Mult = D.computeMultiplicities();
+  EXPECT_EQ(Mult[Root], 1u);
+  EXPECT_EQ(Mult[Mid], 10u);
+  EXPECT_EQ(Mult[Leaf], 1000u);
+}
+
+TEST(Dictionary, MultipleRootOccurrences) {
+  DictionaryCompressor D;
+  SummaryChar R1 = D.intern(makeSummary(1, 5, 5));
+  D.onRootExit(R1);
+  D.onRootExit(R1);
+  SummaryChar R2 = D.intern(makeSummary(2, 6, 6));
+  D.onRootExit(R2);
+  std::vector<uint64_t> Mult = D.computeMultiplicities();
+  EXPECT_EQ(Mult[R1], 2u);
+  EXPECT_EQ(Mult[R2], 1u);
+}
+
+TEST(Dictionary, SizeAccounting) {
+  DictionaryCompressor D;
+  for (int I = 0; I < 1000; ++I)
+    D.intern(makeSummary(1, 100, 10)); // All identical.
+  EXPECT_EQ(D.rawTraceBytes(), 1000 * RawRecordBytes);
+  EXPECT_LE(D.compressedBytes(), 2 * RawRecordBytes + 16);
+  EXPECT_GT(D.compressionRatio(), 100.0);
+}
+
+TEST(Dictionary, EmptyDictionary) {
+  DictionaryCompressor D;
+  EXPECT_EQ(D.numDynamicRegions(), 0u);
+  EXPECT_EQ(D.computeMultiplicities().size(), 0u);
+  EXPECT_DOUBLE_EQ(D.compressionRatio(), 1.0);
+}
+
+// --- End-to-end compression properties ---------------------------------------
+
+TEST(Compression, IdenticalIterationsShareOneCharacter) {
+  // 1000 identical loop iterations must produce one body character.
+  ProfiledRun Run = profileSource(R"(
+    int a[8];
+    int main() {
+      for (int i = 0; i < 1000; i = i + 1) {
+        a[i % 8] = i * 3 + 1;
+      }
+      return a[0] % 100;
+    }
+  )");
+  uint64_t BodyChars = 0;
+  for (const DynRegionSummary &S : Run.Dict->alphabet())
+    if (Run.M->Regions[S.Static].Kind == RegionKind::Body)
+      ++BodyChars;
+  EXPECT_LE(BodyChars, 3u); // Allow first/last-iteration variants.
+  EXPECT_GT(Run.Dict->numDynamicRegions(), 1000u);
+  EXPECT_GT(Run.Dict->compressionRatio(), 50.0);
+}
+
+TEST(Compression, MultiplicityTimesWorkIsExact) {
+  // Aggregating work through compressed multiplicities must equal the sum
+  // that a decompressed trace would give: main's total work == program
+  // work, and every region's Σ(work x mult) is internally consistent.
+  ProfiledRun Run = profileSource(R"(
+    int a[16];
+    int square(int x) { return x * x; }
+    int main() {
+      int s = 0;
+      for (int t = 0; t < 4; t = t + 1) {
+        for (int i = 0; i < 16; i = i + 1) { s = s + square(i + t); }
+      }
+      return s % 251;
+    }
+  )");
+  std::vector<uint64_t> Mult = Run.Dict->computeMultiplicities();
+  const std::vector<DynRegionSummary> &Alpha = Run.Dict->alphabet();
+  // For every non-root entry: Σ over parents of (freq x mult(parent))
+  // equals its own multiplicity.
+  std::vector<uint64_t> FromParents(Alpha.size(), 0);
+  for (size_t C = 0; C < Alpha.size(); ++C)
+    for (const auto &[Child, Freq] : Alpha[C].Children)
+      FromParents[Child] += Freq * Mult[C];
+  for (const auto &[RootChar, Count] : Run.Dict->roots())
+    FromParents[RootChar] += Count;
+  for (size_t C = 0; C < Alpha.size(); ++C)
+    EXPECT_EQ(FromParents[C], Mult[C]) << "char " << C;
+}
+
+TEST(Compression, RatioGrowsWithExecutionLength) {
+  // The alphabet saturates; the raw trace does not.
+  auto RatioFor = [](unsigned Steps) {
+    std::string Src = formatString(R"(
+      int a[8];
+      int main() {
+        for (int t = 0; t < %u; t = t + 1) {
+          for (int i = 0; i < 64; i = i + 1) { a[i %% 8] = i * t; }
+        }
+        return 0;
+      }
+    )", Steps);
+    ProfiledRun Run = profileSource(Src);
+    return Run.Dict->compressionRatio();
+  };
+  double R4 = RatioFor(4);
+  double R32 = RatioFor(32);
+  EXPECT_GT(R32, R4 * 3.0);
+}
+
+} // namespace

@@ -1,0 +1,305 @@
+//===- tests/PlannerTest.cpp - planner and personalities ------------------===//
+
+#include "TestUtil.h"
+
+#include "planner/Personality.h"
+#include "planner/RegionTree.h"
+#include "suite/SourceGenerator.h"
+
+using namespace kremlin;
+using namespace kremlin::test;
+
+namespace {
+
+Plan planWith(const ProfiledRun &Run, const std::string &Name,
+              PlannerOptions Opts = PlannerOptions()) {
+  std::unique_ptr<Personality> P = makePersonality(Name);
+  EXPECT_NE(P, nullptr);
+  return P->plan(*Run.Profile, Opts);
+}
+
+/// A program with one hot parallel loop, one serial loop, and one tiny
+/// parallel loop whose ideal whole-program speedup falls below the 0.1%
+/// DOALL threshold.
+const char *ThreeLoopSrc = R"(
+  int a[2048];
+  int b[64];
+  int tiny[4];
+  int main() {
+    for (int i = 0; i < 2048; i = i + 1) {
+      int x = a[i] + i;
+      x = x * 3 + i + 1;
+      x = x + x / 7;
+      x = x * 2 - x / 5;
+      x = x + x % 13 + 2;
+      x = x * 3 + 1;
+      x = x + x / 3;
+      a[i] = x;
+    }
+    int c = b[0];
+    for (int i = 1; i < 64; i = i + 1) {
+      c = c * 3 + b[i] / (c % 7 + 2);
+      c = c + c / 5;
+      b[i] = c;
+    }
+    for (int i = 0; i < 3; i = i + 1) { tiny[i] = i; }
+    return c % 100;
+  }
+)";
+
+TEST(Planner, OpenMPSelectsOnlyTheHotParallelLoop) {
+  ProfiledRun Run = profileSource(ThreeLoopSrc);
+  Plan P = planWith(Run, "openmp");
+  ASSERT_EQ(P.Items.size(), 1u);
+  const StaticRegion &R = Run.M->Regions[P.Items[0].Region];
+  EXPECT_EQ(R.Kind, RegionKind::Loop);
+  const RegionProfileEntry &E = Run.Profile->entry(P.Items[0].Region);
+  EXPECT_GT(E.SelfParallelism, 5.0);
+  EXPECT_GT(E.CoveragePct, 50.0);
+  EXPECT_GT(P.EstProgramSpeedup, 1.5);
+}
+
+TEST(Planner, PlanItemsOrderedByGain) {
+  ProfiledRun Run = profileSource(R"(
+    int a[256];
+    int b[128];
+    int main() {
+      for (int i = 0; i < 256; i = i + 1) {
+        int x = a[i] * 3 + i;
+        x = x + x / 7;
+        x = x * 2 + 1;
+        a[i] = x;
+      }
+      for (int i = 0; i < 128; i = i + 1) {
+        int x = b[i] * 5 + i;
+        x = x + x / 3;
+        b[i] = x;
+      }
+      return 0;
+    }
+  )");
+  Plan P = planWith(Run, "openmp");
+  ASSERT_EQ(P.Items.size(), 2u);
+  EXPECT_GE(P.Items[0].GainFrac, P.Items[1].GainFrac);
+  EXPECT_GE(P.Items[0].CoveragePct, P.Items[1].CoveragePct);
+}
+
+TEST(Planner, NoNestedSelections) {
+  // Outer and inner loops both parallel: OpenMP takes at most one per
+  // root-leaf path.
+  ProfiledRun Run = profileSource(R"(
+    int a[1024];
+    int main() {
+      for (int j = 0; j < 16; j = j + 1) {
+        int y = j * 3;
+        y = y + y / 7;
+        y = y * 2 + 1;
+        y = y + y % 13;
+        y = y * 3 + j;
+        y = y + y / 5;
+        y = y * 2 + 3;
+        y = y + y % 7;
+        for (int i = 0; i < 64; i = i + 1) {
+          int x = a[j * 64 + i] + y;
+          x = x * 3 + i;
+          x = x + x / 7;
+          a[j * 64 + i] = x;
+        }
+      }
+      return 0;
+    }
+  )");
+  Plan P = planWith(Run, "openmp");
+  PlanningTree Tree(*Run.Profile);
+  for (const PlanItem &A : P.Items)
+    for (const PlanItem &B : P.Items) {
+      if (A.Region == B.Region)
+        continue;
+      for (RegionId R = Tree.parent(A.Region); R != NoRegion;
+           R = Tree.parent(R))
+        EXPECT_NE(R, B.Region) << "nested plan selections";
+    }
+}
+
+TEST(Planner, DpPrefersChildrenWhenCollectivelyBetter) {
+  // The ft/lu shape (paper §5.1): a DOACROSS parent that clears the SP
+  // threshold and has the highest SINGLE gain, enclosing DOALL children
+  // whose summed gain is higher. Generated through the suite's
+  // ChildrenNest pattern, which is tuned to exactly this shape.
+  BenchmarkSpec Spec;
+  Spec.Name = "dpcase";
+  Spec.Timesteps = 2;
+  SiteSpec Nest;
+  Nest.Kind = SiteKind::ChildrenNest;
+  Nest.Iters = 12;
+  Nest.InnerIters = 96;
+  Nest.InnerCount = 3;
+  Nest.Work = 10;
+  Spec.add(Nest);
+  GeneratedBenchmark GB = generateBenchmark(Spec);
+  ProfiledRun Run = profileSource(GB.Source);
+
+  Plan Dp = planWith(Run, "openmp");
+  PlannerOptions GreedyOpts;
+  GreedyOpts.Greedy = true;
+  Plan Greedy = planWith(Run, "openmp", GreedyOpts);
+
+  // Greedy takes the one parent; DP takes the three children.
+  ASSERT_EQ(Greedy.Items.size(), 1u);
+  ASSERT_EQ(Dp.Items.size(), 3u);
+  PlanningTree Tree(*Run.Profile);
+  for (const PlanItem &I : Dp.Items)
+    EXPECT_EQ(Tree.parent(I.Region), Greedy.Items[0].Region);
+  // And the children collectively promise more.
+  EXPECT_GT(Dp.EstProgramSpeedup, Greedy.EstProgramSpeedup);
+}
+
+TEST(Planner, ReductionLoopsNeedWork) {
+  const char *Src = R"(
+    int a[16];
+    int main() {
+      int s = 0;
+      int c = 3;
+      for (int t = 0; t < 64; t = t + 1) {
+        c = c * 3 + c / (c % 7 + 2); // Serializes the outer loop.
+        for (int i = 0; i < 16; i = i + 1) { s = s + a[i] + c; }
+      }
+      return (s + c) % 100;
+    }
+  )";
+  ProfiledRun Run = profileSource(Src);
+  PlannerOptions Strict;
+  Strict.MinReductionWork = 1e7; // No loop has this much work.
+  Plan None = planWith(Run, "openmp", Strict);
+  for (const PlanItem &I : None.Items) {
+    const StaticRegion &R = Run.M->Regions[I.Region];
+    EXPECT_FALSE(R.HasReduction)
+        << "underweight reduction loop selected";
+  }
+  PlannerOptions Lenient;
+  Lenient.MinReductionWork = 0.0;
+  Plan Some = planWith(Run, "openmp", Lenient);
+  EXPECT_GT(Some.Items.size(), None.Items.size());
+}
+
+TEST(Planner, ExclusionListReplans) {
+  ProfiledRun Run = profileSource(ThreeLoopSrc);
+  Plan Original = planWith(Run, "openmp");
+  ASSERT_FALSE(Original.Items.empty());
+  PlannerOptions Opts;
+  Opts.Excluded.insert(Original.Items[0].Region);
+  Plan Replanned = planWith(Run, "openmp", Opts);
+  EXPECT_FALSE(Replanned.contains(Original.Items[0].Region));
+}
+
+TEST(Planner, ThresholdSensitivity) {
+  ProfiledRun Run = profileSource(ThreeLoopSrc);
+  PlannerOptions Loose;
+  Loose.MinSelfParallelism = 1.5;
+  Loose.MinDoallSpeedupPct = 0.0001;
+  Loose.MinDoacrossSpeedupPct = 0.0001;
+  Plan LoosePlan = planWith(Run, "openmp", Loose);
+  PlannerOptions Tight;
+  Tight.MinSelfParallelism = 1e6;
+  Plan TightPlan = planWith(Run, "openmp", Tight);
+  EXPECT_TRUE(TightPlan.Items.empty());
+  EXPECT_GE(LoosePlan.Items.size(), planWith(Run, "openmp").Items.size());
+}
+
+TEST(Planner, CilkAllowsNestingAndMoreRegions) {
+  ProfiledRun Run = profileSource(R"(
+    int a[1024];
+    int main() {
+      for (int j = 0; j < 16; j = j + 1) {
+        for (int i = 0; i < 64; i = i + 1) {
+          int x = a[j * 64 + i] * 3 + i;
+          x = x + x / 7;
+          x = x * 2 + 1;
+          a[j * 64 + i] = x;
+        }
+      }
+      return 0;
+    }
+  )");
+  Plan OpenMP = planWith(Run, "openmp");
+  Plan Cilk = planWith(Run, "cilk");
+  EXPECT_GE(Cilk.Items.size(), OpenMP.Items.size());
+}
+
+TEST(Planner, WorkOnlyRanksByCoverage) {
+  ProfiledRun Run = profileSource(ThreeLoopSrc);
+  Plan P = planWith(Run, "work");
+  ASSERT_GE(P.Items.size(), 2u);
+  for (size_t I = 1; I < P.Items.size(); ++I)
+    EXPECT_GE(P.Items[I - 1].CoveragePct, P.Items[I].CoveragePct);
+  // The serial loop IS on the gprof list (that is its blind spot).
+  bool HasSerial = false;
+  for (const PlanItem &I : P.Items)
+    HasSerial |= Run.Profile->entry(I.Region).SelfParallelism < 2.0;
+  EXPECT_TRUE(HasSerial);
+}
+
+TEST(Planner, SelfPFilterDropsSerialRegions) {
+  ProfiledRun Run = profileSource(ThreeLoopSrc);
+  Plan P = planWith(Run, "selfp");
+  for (const PlanItem &I : P.Items)
+    EXPECT_GE(Run.Profile->entry(I.Region).SelfParallelism, 5.0);
+  Plan Work = planWith(Run, "work");
+  EXPECT_LT(P.Items.size(), Work.Items.size());
+}
+
+TEST(Planner, UnknownPersonalityRejected) {
+  EXPECT_EQ(makePersonality("fortran"), nullptr);
+  EXPECT_NE(makePersonality("openmp"), nullptr);
+  EXPECT_NE(makePersonality("cilk"), nullptr);
+  EXPECT_NE(makePersonality("work"), nullptr);
+  EXPECT_NE(makePersonality("selfp"), nullptr);
+}
+
+TEST(Planner, PrintPlanFormat) {
+  ProfiledRun Run = profileSource(ThreeLoopSrc);
+  Plan P = planWith(Run, "openmp");
+  std::string Text = printPlan(*Run.M, P);
+  EXPECT_NE(Text.find("Self-P"), std::string::npos);
+  EXPECT_NE(Text.find("Cov (%)"), std::string::npos);
+  EXPECT_NE(Text.find("t.c ("), std::string::npos);
+}
+
+TEST(PlanningTree, BuildsCandidateTree) {
+  ProfiledRun Run = profileSource(R"(
+    int helper(int x) { return x * 3; }
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1) { s = s + helper(i); }
+      return s;
+    }
+  )");
+  PlanningTree Tree(*Run.Profile);
+  RegionId Root = Tree.root();
+  EXPECT_EQ(Run.M->Regions[Root].Name, "main");
+  // Candidates only: no Body regions anywhere in the tree.
+  for (RegionId R : Tree.preorder())
+    EXPECT_NE(Run.M->Regions[R].Kind, RegionKind::Body);
+  // helper's tree parent is the loop (its heaviest caller context).
+  RegionId Helper = NoRegion;
+  for (const StaticRegion &R : Run.M->Regions)
+    if (R.Kind == RegionKind::Function && R.Name == "helper")
+      Helper = R.Id;
+  ASSERT_NE(Helper, NoRegion);
+  EXPECT_EQ(Run.M->Regions[Tree.parent(Helper)].Kind, RegionKind::Loop);
+}
+
+TEST(PlanningTree, RecursionDoesNotCycle) {
+  ProfiledRun Run = profileSource(R"(
+    int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+    int main() { return fact(10) % 1000; }
+  )");
+  PlanningTree Tree(*Run.Profile);
+  // Preorder terminates and visits each candidate at most once.
+  std::set<RegionId> Seen;
+  for (RegionId R : Tree.preorder())
+    EXPECT_TRUE(Seen.insert(R).second);
+  EXPECT_GE(Seen.size(), 2u); // main + fact at least.
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/ProfileTest.cpp - parallelism profile tests ------------------===//
+
+#include "TestUtil.h"
+
+using namespace kremlin;
+using namespace kremlin::test;
+
+namespace {
+
+// --- Equation-level tests on synthetic summaries ------------------------------
+
+TEST(SelfParallelism, SerialChildrenGiveOne) {
+  // Figure 5 left: cp(R) = n * cp_i, children contribute n * cp_i.
+  std::vector<DynRegionSummary> Alphabet;
+  DynRegionSummary Child;
+  Child.Static = 2;
+  Child.Work = 10;
+  Child.Cp = 10;
+  Alphabet.push_back(Child);
+  DynRegionSummary Parent;
+  Parent.Static = 1;
+  Parent.Work = 40;
+  Parent.Cp = 40; // Four children executed back to back.
+  Parent.Children = {{0, 4}};
+  EXPECT_DOUBLE_EQ(summarySelfParallelism(Parent, Alphabet), 1.0);
+}
+
+TEST(SelfParallelism, ParallelChildrenGiveN) {
+  // Figure 5 right: cp(R) = cp_i, children sum to n * cp_i.
+  std::vector<DynRegionSummary> Alphabet;
+  DynRegionSummary Child;
+  Child.Static = 2;
+  Child.Work = 10;
+  Child.Cp = 10;
+  Alphabet.push_back(Child);
+  DynRegionSummary Parent;
+  Parent.Static = 1;
+  Parent.Work = 40;
+  Parent.Cp = 10;
+  Parent.Children = {{0, 4}};
+  EXPECT_DOUBLE_EQ(summarySelfParallelism(Parent, Alphabet), 4.0);
+}
+
+TEST(SelfParallelism, SelfWorkCounts) {
+  // SW(R) = work - children work joins the numerator (Eq. 1-2).
+  std::vector<DynRegionSummary> Alphabet;
+  DynRegionSummary Child;
+  Child.Static = 2;
+  Child.Work = 10;
+  Child.Cp = 10;
+  Alphabet.push_back(Child);
+  DynRegionSummary Parent;
+  Parent.Static = 1;
+  Parent.Work = 60; // 40 children + 20 self work.
+  Parent.Cp = 10;
+  Parent.Children = {{0, 4}};
+  EXPECT_DOUBLE_EQ(summarySelfParallelism(Parent, Alphabet), 6.0);
+}
+
+TEST(SelfParallelism, ClampedToOne) {
+  std::vector<DynRegionSummary> Alphabet;
+  DynRegionSummary Leaf;
+  Leaf.Static = 1;
+  Leaf.Work = 5;
+  Leaf.Cp = 9; // Degenerate cp > children+self: clamp.
+  EXPECT_DOUBLE_EQ(summarySelfParallelism(Leaf, Alphabet), 1.0);
+  DynRegionSummary Empty;
+  Empty.Static = 1;
+  Empty.Work = 0;
+  Empty.Cp = 0;
+  EXPECT_DOUBLE_EQ(summarySelfParallelism(Empty, Alphabet), 1.0);
+}
+
+// --- End-to-end profile properties -------------------------------------------
+
+TEST(Profile, CoverageNestsProperly) {
+  ProfiledRun Run = profileSource(R"(
+    int a[32];
+    void kernel() {
+      for (int i = 0; i < 32; i = i + 1) { a[i] = a[i] * 3 + i; }
+    }
+    int main() {
+      for (int t = 0; t < 4; t = t + 1) { kernel(); }
+      return a[7] % 100;
+    }
+  )");
+  const RegionProfileEntry *Main =
+      findRegion(Run, RegionKind::Function, "main");
+  const RegionProfileEntry *Kernel =
+      findRegion(Run, RegionKind::Function, "kernel");
+  const RegionProfileEntry *KernelLoop =
+      findRegion(Run, RegionKind::Loop, "kernel");
+  ASSERT_NE(Main, nullptr);
+  ASSERT_NE(Kernel, nullptr);
+  ASSERT_NE(KernelLoop, nullptr);
+  EXPECT_NEAR(Main->CoveragePct, 100.0, 1e-9);
+  // kernel covers most of main; its loop covers most of kernel.
+  EXPECT_GT(Kernel->CoveragePct, 80.0);
+  EXPECT_LT(Kernel->CoveragePct, 100.0);
+  EXPECT_GT(KernelLoop->CoveragePct, 70.0);
+  EXPECT_LE(KernelLoop->CoveragePct, Kernel->CoveragePct);
+}
+
+TEST(Profile, LoopClassification) {
+  ProfiledRun Run = profileSource(R"(
+    int a[64];
+    int b[64];
+    int main() {
+      for (int i = 0; i < 64; i = i + 1) {
+        a[i] = i * 7 + i / 3 + i % 11;
+      }
+      for (int i = 1; i < 64; i = i + 1) {
+        int x = i * 3;
+        x = x + x / 7;
+        x = x * 2 - x / 5;
+        x = x + x % 13 + 2;
+        x = x * 3 + 1;
+        x = x + x / 7;
+        x = x * 2 - x / 5;
+        x = x + x % 13;
+        x = x * 2 + 1;
+        x = x + x / 9;
+        x = x * 3 - x / 4;
+        x = x + x % 7;
+        b[i] = b[i - 1] / 4 + x;
+      }
+      int c = a[0];
+      for (int i = 1; i < 64; i = i + 1) {
+        c = c * 3 + a[i] / (c % 7 + 2);
+        c = c + c / 5 - c % 13;
+        c = c * 2 - c / (c % 5 + 3);
+      }
+      return c % 100;
+    }
+  )");
+  const RegionProfileEntry *Doall = findRegion(Run, RegionKind::Loop, "main");
+  const RegionProfileEntry *Doacross =
+      findRegion(Run, RegionKind::Loop, "main", 1);
+  const RegionProfileEntry *Serial =
+      findRegion(Run, RegionKind::Loop, "main", 2);
+  ASSERT_NE(Doall, nullptr);
+  ASSERT_NE(Doacross, nullptr);
+  ASSERT_NE(Serial, nullptr);
+  EXPECT_EQ(Doall->Class, LoopClass::Doall);
+  EXPECT_EQ(Doacross->Class, LoopClass::Doacross);
+  EXPECT_EQ(Serial->Class, LoopClass::Serial);
+  EXPECT_GT(Doacross->SelfParallelism, 4.0);
+  EXPECT_LT(Doacross->SelfParallelism, 25.0);
+}
+
+TEST(Profile, RegionGraphEdges) {
+  ProfiledRun Run = profileSource(R"(
+    int helper(int x) { return x * 2; }
+    int main() {
+      int s = 0;
+      s = s + helper(1);
+      for (int i = 0; i < 3; i = i + 1) { s = s + helper(i); }
+      return s;
+    }
+  )");
+  const RegionProfileEntry *Helper =
+      findRegion(Run, RegionKind::Function, "helper");
+  ASSERT_NE(Helper, nullptr);
+  EXPECT_EQ(Helper->Instances, 4u);
+  // helper appears under two distinct parents: main's function region and
+  // the loop body region.
+  unsigned ParentCount = 0;
+  for (const RegionEdge &E : Run.Profile->edges())
+    if (E.Child == Helper->Id)
+      ++ParentCount;
+  EXPECT_EQ(ParentCount, 2u);
+}
+
+TEST(Profile, UnexecutedRegionsMarked) {
+  ProfiledRun Run = profileSource(R"(
+    int never() {
+      for (int i = 0; i < 4; i = i + 1) { }
+      return 1;
+    }
+    int main() { return 0; }
+  )");
+  const RegionProfileEntry *Never =
+      findRegion(Run, RegionKind::Function, "never");
+  EXPECT_EQ(Never, nullptr); // findRegion skips unexecuted entries.
+  // But the entries exist and carry zeroes.
+  unsigned Unexecuted = 0;
+  for (const RegionProfileEntry &E : Run.Profile->entries())
+    if (!E.Executed) {
+      ++Unexecuted;
+      EXPECT_EQ(E.TotalWork, 0u);
+      EXPECT_EQ(E.CoveragePct, 0.0);
+    }
+  EXPECT_EQ(Unexecuted, 3u); // never + its loop + body.
+}
+
+TEST(Profile, RootIsMain) {
+  ProfiledRun Run = profileSource("int main() { int x = 2 * 3; return x; }");
+  RegionId Root = Run.Profile->rootRegion();
+  ASSERT_NE(Root, NoRegion);
+  EXPECT_EQ(Run.M->Regions[Root].Name, "main");
+  EXPECT_GT(Run.Profile->programWork(), 0u);
+}
+
+TEST(Profile, TextDumpContainsRows) {
+  ProfiledRun Run = profileSource(
+      "int main() { for (int i = 0; i < 3; i = i + 1) { } return 0; }");
+  std::string Text = Run.Profile->toText();
+  EXPECT_NE(Text.find("program work"), std::string::npos);
+  EXPECT_NE(Text.find("func"), std::string::npos);
+  EXPECT_NE(Text.find("loop"), std::string::npos);
+}
+
+} // namespace

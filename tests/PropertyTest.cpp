@@ -1,0 +1,218 @@
+//===- tests/PropertyTest.cpp - randomized invariant sweeps ---------------===//
+//
+// Property-style tests: a seeded random MiniC program generator drives the
+// whole pipeline, and TEST_P sweeps assert the invariants that must hold
+// for every program — profiled semantics match plain semantics, summary
+// cp <= work, children's work fits the parent's, self-parallelism >= 1,
+// compressed multiplicities are flow-consistent, and OpenMP plans respect
+// the one-region-per-path constraint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "planner/Personality.h"
+#include "planner/RegionTree.h"
+#include "support/Prng.h"
+#include "support/StringUtils.h"
+
+using namespace kremlin;
+using namespace kremlin::test;
+
+namespace {
+
+/// Generates a random structured MiniC program. All loops have fixed
+/// bounds and all indices are reduced modulo the array size, so every
+/// generated program terminates and stays in bounds.
+class RandomProgram {
+public:
+  explicit RandomProgram(uint64_t Seed) : Rng(Seed) {
+    Src += "int mem[64];\n";
+    Src += "int aux[32];\n";
+    unsigned NumFuncs = 1 + Rng.nextBelow(3);
+    for (unsigned F = 0; F < NumFuncs; ++F) {
+      std::string Name = formatString("fn%u", F);
+      Funcs.push_back(Name);
+      Src += "int " + Name + "(int p) {\n";
+      Src += "  int v = p + " + formatString("%u", F) + ";\n";
+      emitBlock(2, /*Depth=*/0, /*CanCall=*/F); // Call only earlier fns.
+      Src += "  return v % 1009;\n}\n";
+    }
+    Src += "int main() {\n  int v = 1;\n";
+    emitBlock(2, 0, NumFuncs);
+    Src += "  return v % 1009;\n}\n";
+  }
+
+  const std::string &source() const { return Src; }
+
+private:
+  Prng Rng;
+  std::string Src;
+  std::vector<std::string> Funcs;
+  unsigned LoopCounter = 0;
+
+  void indent(unsigned Depth) { Src.append(2 * Depth + 2, ' '); }
+
+  void emitStmt(unsigned Depth, unsigned CanCall) {
+    switch (Rng.nextBelow(Depth >= 3 ? 4 : 6)) {
+    case 0: // Scalar update chain.
+      indent(Depth);
+      Src += formatString("v = v * %llu + %llu;\n",
+                          (unsigned long long)Rng.nextInRange(2, 5),
+                          (unsigned long long)Rng.nextInRange(1, 9));
+      break;
+    case 1: // Memory write.
+      indent(Depth);
+      Src += formatString("mem[((v %% 64 + 64) + %llu) %% 64] = v + %llu;\n",
+                          (unsigned long long)Rng.nextBelow(64),
+                          (unsigned long long)Rng.nextBelow(100));
+      break;
+    case 2: // Memory read.
+      indent(Depth);
+      Src += formatString("v = v + mem[((v %% 64 + 64) * 7 + %llu) %% 64] %% 13;\n",
+                          (unsigned long long)Rng.nextBelow(64));
+      break;
+    case 3: // Call (only to already-defined functions).
+      if (CanCall > 0) {
+        indent(Depth);
+        Src += formatString("v = v + %s((v %% 50 + 50) %% 50) %% 31;\n",
+                            Funcs[Rng.nextBelow(CanCall)].c_str());
+      } else {
+        indent(Depth);
+        Src += "v = v + 1;\n";
+      }
+      break;
+    case 4: { // If/else.
+      indent(Depth);
+      Src += formatString("if (v %% %llu < %llu) {\n",
+                          (unsigned long long)Rng.nextInRange(2, 7),
+                          (unsigned long long)Rng.nextInRange(1, 3));
+      emitBlock(1 + Rng.nextBelow(2), Depth + 1, CanCall);
+      if (Rng.nextBool(0.5)) {
+        indent(Depth);
+        Src += "} else {\n";
+        emitBlock(1, Depth + 1, CanCall);
+      }
+      indent(Depth);
+      Src += "}\n";
+      break;
+    }
+    default: { // Counted loop.
+      unsigned Id = LoopCounter++;
+      unsigned Iters = 2 + Rng.nextBelow(12);
+      indent(Depth);
+      Src += formatString("for (int i%u = 0; i%u < %u; i%u = i%u + 1) {\n",
+                          Id, Id, Iters, Id, Id);
+      // Loop bodies may use the loop variable.
+      indent(Depth + 1);
+      Src += formatString("aux[i%u %% 32] = aux[i%u %% 32] + v %% 17;\n",
+                          Id, Id);
+      emitBlock(1 + Rng.nextBelow(2), Depth + 1, CanCall);
+      indent(Depth);
+      Src += "}\n";
+      break;
+    }
+    }
+  }
+
+  void emitBlock(unsigned Stmts, unsigned Depth, unsigned CanCall) {
+    for (unsigned S = 0; S < Stmts; ++S)
+      emitStmt(Depth, CanCall);
+  }
+};
+
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineProperty, ProfiledSemanticsMatchPlain) {
+  RandomProgram P(GetParam());
+  SCOPED_TRACE(P.source());
+  int64_t Plain = runPlain(P.source());
+  ProfiledRun Run = profileSource(P.source());
+  EXPECT_EQ(Run.Exec.ExitValue, Plain);
+}
+
+TEST_P(PipelineProperty, SummaryInvariants) {
+  RandomProgram P(GetParam());
+  ProfiledRun Run = profileSource(P.source());
+  const std::vector<DynRegionSummary> &Alpha = Run.Dict->alphabet();
+  for (const DynRegionSummary &S : Alpha) {
+    EXPECT_LE(S.Cp, S.Work);
+    uint64_t ChildWork = 0;
+    for (const auto &[C, Freq] : S.Children) {
+      EXPECT_LT(C, Alpha.size());
+      ChildWork += Alpha[C].Work * Freq;
+    }
+    EXPECT_LE(ChildWork, S.Work);
+    EXPECT_GE(summarySelfParallelism(S, Alpha), 1.0);
+  }
+}
+
+TEST_P(PipelineProperty, MultiplicityFlowConservation) {
+  RandomProgram P(GetParam());
+  ProfiledRun Run = profileSource(P.source());
+  const std::vector<DynRegionSummary> &Alpha = Run.Dict->alphabet();
+  std::vector<uint64_t> Mult = Run.Dict->computeMultiplicities();
+  std::vector<uint64_t> FromParents(Alpha.size(), 0);
+  for (size_t C = 0; C < Alpha.size(); ++C)
+    for (const auto &[Child, Freq] : Alpha[C].Children)
+      FromParents[Child] += Freq * Mult[C];
+  for (const auto &[RootChar, Count] : Run.Dict->roots())
+    FromParents[RootChar] += Count;
+  for (size_t C = 0; C < Alpha.size(); ++C)
+    EXPECT_EQ(FromParents[C], Mult[C]);
+  // Total dynamic regions are preserved by compression.
+  uint64_t TotalDyn = 0;
+  for (uint64_t M : Mult)
+    TotalDyn += M;
+  EXPECT_EQ(TotalDyn, Run.Dict->numDynamicRegions());
+}
+
+TEST_P(PipelineProperty, ProfileMetricBounds) {
+  RandomProgram P(GetParam());
+  ProfiledRun Run = profileSource(P.source());
+  for (const RegionProfileEntry &E : Run.Profile->entries()) {
+    if (!E.Executed)
+      continue;
+    EXPECT_GE(E.SelfParallelism, 1.0);
+    EXPECT_GE(E.TotalParallelism, 1.0);
+    EXPECT_GE(E.CoveragePct, 0.0);
+    EXPECT_LE(E.CoveragePct, 100.0 + 1e-9);
+    EXPECT_LE(E.TotalCp, E.TotalWork);
+    EXPECT_GE(E.Instances, 1u);
+  }
+}
+
+TEST_P(PipelineProperty, OpenMPPlanRespectsPathConstraint) {
+  RandomProgram P(GetParam());
+  ProfiledRun Run = profileSource(P.source());
+  Plan Plan =
+      makeOpenMPPersonality()->plan(*Run.Profile, PlannerOptions());
+  PlanningTree Tree(*Run.Profile);
+  for (const PlanItem &A : Plan.Items) {
+    EXPECT_EQ(Run.M->Regions[A.Region].Kind, RegionKind::Loop);
+    for (const PlanItem &B : Plan.Items) {
+      if (A.Region == B.Region)
+        continue;
+      for (RegionId R = Tree.parent(A.Region); R != NoRegion;
+           R = Tree.parent(R))
+        ASSERT_NE(R, B.Region) << "nested selections in plan";
+    }
+  }
+}
+
+TEST_P(PipelineProperty, DepthWindowPreservesWorkTotals) {
+  RandomProgram P(GetParam());
+  KremlinConfig Narrow;
+  Narrow.NumLevels = 2;
+  ProfiledRun A = profileSource(P.source());
+  ProfiledRun B = profileSource(P.source(), Narrow);
+  EXPECT_EQ(A.Profile->programWork(), B.Profile->programWork());
+  for (size_t R = 0; R < A.Profile->entries().size(); ++R)
+    EXPECT_EQ(A.Profile->entries()[R].TotalWork,
+              B.Profile->entries()[R].TotalWork);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

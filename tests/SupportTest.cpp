@@ -1,0 +1,97 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------===//
+
+#include "support/Prng.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include "gtest/gtest.h"
+
+using namespace kremlin;
+
+namespace {
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatString("empty"), "empty");
+  // Long outputs must not truncate.
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(StringUtils, FormatFixedAndPercent) {
+  EXPECT_EQ(formatFixed(145.31, 1), "145.3");
+  EXPECT_EQ(formatFixed(2.0, 2), "2.00");
+  EXPECT_EQ(formatPercent(9.7, 1), "9.7%");
+  EXPECT_EQ(formatFactor(1.57), "1.57x");
+  EXPECT_EQ(formatFactor(119000.0, 0), "119000x");
+}
+
+TEST(StringUtils, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(150 * 1024), "150.0 KB");
+  EXPECT_EQ(formatBytes(17ull * 1024 * 1024 * 1024 +
+                        921ull * 1024 * 1024),
+            "17.9 GB");
+}
+
+TEST(StringUtils, SplitAndTrim) {
+  std::vector<std::string> Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+  EXPECT_EQ(trimString("  x y \n"), "x y");
+  EXPECT_EQ(trimString("\t\n  "), "");
+}
+
+TEST(Prng, DeterministicAndInRange) {
+  Prng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Prng C(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = C.nextBelow(10);
+    EXPECT_LT(V, 10u);
+    int64_t R = C.nextInRange(-5, 5);
+    EXPECT_GE(R, -5);
+    EXPECT_LE(R, 5);
+    double D = C.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1.5"});
+  T.addRow({"longer", "10.25"});
+  std::string Out = T.render();
+  // Numeric cells right-aligned, text left-aligned.
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("x         1.5"), std::string::npos);
+  EXPECT_NE(Out.find("longer  10.25"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TablePrinter, SeparatorAndShortRows) {
+  TablePrinter T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"1"});
+  T.addSeparator();
+  T.addRow({"x", "y", "z"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("---"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+} // namespace

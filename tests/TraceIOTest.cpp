@@ -1,0 +1,149 @@
+//===- tests/TraceIOTest.cpp - trace serialization + aggregation ----------===//
+
+#include "TestUtil.h"
+
+#include "compress/TraceIO.h"
+
+#include <cstdio>
+
+using namespace kremlin;
+using namespace kremlin::test;
+
+namespace {
+
+const char *TwoPhaseSrc = R"(
+  int a[128];
+  int main() {
+    for (int i = 0; i < 128; i = i + 1) {
+      int x = a[i] + i;
+      x = x * 3 + 1;
+      x = x + x / 7;
+      a[i] = x;
+    }
+    int c = 3;
+    for (int i = 0; i < 32; i = i + 1) {
+      c = c * 3 + c / (c % 7 + 2);
+    }
+    return c % 100;
+  }
+)";
+
+TEST(TraceIO, RoundTripPreservesEverything) {
+  ProfiledRun Run = profileSource(TwoPhaseSrc);
+  std::string Text = writeTrace(*Run.Dict);
+  TraceReadResult R = readTrace(Text);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Dict.alphabet().size(), Run.Dict->alphabet().size());
+  for (size_t C = 0; C < R.Dict.alphabet().size(); ++C)
+    EXPECT_TRUE(R.Dict.alphabet()[C] == Run.Dict->alphabet()[C])
+        << "char " << C;
+  EXPECT_EQ(R.Dict.roots(), Run.Dict->roots());
+  EXPECT_EQ(R.Dict.numDynamicRegions(), Run.Dict->numDynamicRegions());
+}
+
+TEST(TraceIO, ProfileFromReloadedTraceIsIdentical) {
+  ProfiledRun Run = profileSource(TwoPhaseSrc);
+  TraceReadResult R = readTrace(writeTrace(*Run.Dict));
+  ASSERT_TRUE(R.Ok);
+  ParallelismProfile Reloaded(*Run.M, R.Dict);
+  ASSERT_EQ(Reloaded.entries().size(), Run.Profile->entries().size());
+  for (size_t I = 0; I < Reloaded.entries().size(); ++I) {
+    const RegionProfileEntry &A = Run.Profile->entries()[I];
+    const RegionProfileEntry &B = Reloaded.entries()[I];
+    EXPECT_EQ(A.TotalWork, B.TotalWork);
+    EXPECT_EQ(A.Instances, B.Instances);
+    EXPECT_DOUBLE_EQ(A.SelfParallelism, B.SelfParallelism);
+    EXPECT_DOUBLE_EQ(A.CoveragePct, B.CoveragePct);
+  }
+}
+
+TEST(TraceIO, FileRoundTrip) {
+  ProfiledRun Run = profileSource(TwoPhaseSrc);
+  std::string Path = ::testing::TempDir() + "/kremlin_trace_test.txt";
+  ASSERT_TRUE(writeTraceFile(*Run.Dict, Path));
+  TraceReadResult R = readTraceFile(Path);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Dict.alphabet().size(), Run.Dict->alphabet().size());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIO, RejectsMalformedInput) {
+  EXPECT_FALSE(readTrace("").Ok);
+  EXPECT_FALSE(readTrace("not-a-trace 1\n").Ok);
+  EXPECT_FALSE(readTrace("kremlin-trace 2\n").Ok);
+  EXPECT_FALSE(readTrace("kremlin-trace 1\nregions banana\n").Ok);
+  // Child referencing itself / a later char violates leaves-first order.
+  EXPECT_FALSE(
+      readTrace("kremlin-trace 1\nregions 1\nentry 0 10 5 1 0 2\n").Ok);
+  // Root index out of range.
+  EXPECT_FALSE(
+      readTrace("kremlin-trace 1\nregions 1\nentry 0 10 5 0\nroot 7 1\n")
+          .Ok);
+  EXPECT_FALSE(readTraceFile("/nonexistent/path/trace.txt").Ok);
+}
+
+TEST(TraceIO, AcceptsMinimalValidTrace) {
+  TraceReadResult R = readTrace("kremlin-trace 1\nregions 1\n"
+                                "entry 0 10 5 0\nroot 0 1\ndynregions 4\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Dict.alphabet().size(), 1u);
+  EXPECT_EQ(R.Dict.numDynamicRegions(), 4u);
+  EXPECT_EQ(R.Dict.computeMultiplicities()[0], 1u);
+}
+
+// --- Multi-run aggregation (§2.4) ---------------------------------------------
+
+TEST(Aggregation, TwoRunsDoubleTheTotals) {
+  std::unique_ptr<Module> M = compileOrDie(TwoPhaseSrc);
+  instrumentModule(*M);
+  DictionaryCompressor D1, D2;
+  {
+    KremlinConfig Cfg;
+    KremlinRuntime RT(Cfg, D1);
+    Interpreter I(*M);
+    ASSERT_TRUE(I.run(&RT).Ok);
+  }
+  {
+    KremlinConfig Cfg;
+    KremlinRuntime RT(Cfg, D2);
+    Interpreter I(*M);
+    ASSERT_TRUE(I.run(&RT).Ok);
+  }
+  ParallelismProfile Single(*M, D1);
+  ParallelismProfile Both(*M, {&D1, &D2});
+  EXPECT_EQ(Both.programWork(), 2 * Single.programWork());
+  for (size_t I = 0; I < Both.entries().size(); ++I) {
+    const RegionProfileEntry &S = Single.entries()[I];
+    const RegionProfileEntry &B = Both.entries()[I];
+    EXPECT_EQ(B.TotalWork, 2 * S.TotalWork);
+    EXPECT_EQ(B.Instances, 2 * S.Instances);
+    // Relative metrics are unchanged for identical runs.
+    if (S.Executed) {
+      EXPECT_NEAR(B.CoveragePct, S.CoveragePct, 1e-9);
+      EXPECT_NEAR(B.SelfParallelism, S.SelfParallelism, 1e-9);
+    }
+  }
+}
+
+TEST(Aggregation, CombinesRunsWithDifferentBehaviour) {
+  // Same module, but the second run came through a trace file (the
+  // realistic aggregation workflow): profile + save, profile + save,
+  // load both, aggregate.
+  std::unique_ptr<Module> M = compileOrDie(TwoPhaseSrc);
+  instrumentModule(*M);
+  DictionaryCompressor D1;
+  KremlinConfig Cfg;
+  {
+    KremlinRuntime RT(Cfg, D1);
+    Interpreter I(*M);
+    ASSERT_TRUE(I.run(&RT).Ok);
+  }
+  TraceReadResult Reloaded = readTrace(writeTrace(D1));
+  ASSERT_TRUE(Reloaded.Ok);
+  ParallelismProfile Agg(*M, {&D1, &Reloaded.Dict});
+  ParallelismProfile One(*M, D1);
+  EXPECT_EQ(Agg.programWork(), 2 * One.programWork());
+  EXPECT_EQ(Agg.rootRegion(), One.rootRegion());
+}
+
+} // namespace
