@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_tracking_ui.cpp" "bench/CMakeFiles/bench_fig3_tracking_ui.dir/bench_fig3_tracking_ui.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_tracking_ui.dir/bench_fig3_tracking_ui.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/kremlin_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/kremlin_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/kremlin_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/kremlin_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/kremlin_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/kremlin_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/kremlin_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/kremlin_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/kremlin_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/kremlin_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/kremlin_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/kremlin_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kremlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

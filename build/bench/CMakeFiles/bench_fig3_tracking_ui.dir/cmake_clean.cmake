@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tracking_ui.dir/bench_fig3_tracking_ui.cpp.o"
+  "CMakeFiles/bench_fig3_tracking_ui.dir/bench_fig3_tracking_ui.cpp.o.d"
+  "bench_fig3_tracking_ui"
+  "bench_fig3_tracking_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tracking_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_tracking_ui.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_selfp_examples.dir/bench_fig5_selfp_examples.cpp.o"
+  "CMakeFiles/bench_fig5_selfp_examples.dir/bench_fig5_selfp_examples.cpp.o.d"
+  "bench_fig5_selfp_examples"
+  "bench_fig5_selfp_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_selfp_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_marginal_benefit.dir/bench_fig7_marginal_benefit.cpp.o"
+  "CMakeFiles/bench_fig7_marginal_benefit.dir/bench_fig7_marginal_benefit.cpp.o.d"
+  "bench_fig7_marginal_benefit"
+  "bench_fig7_marginal_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_marginal_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_shadow.dir/bench_micro_shadow.cpp.o"
+  "CMakeFiles/bench_micro_shadow.dir/bench_micro_shadow.cpp.o.d"
+  "bench_micro_shadow"
+  "bench_micro_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

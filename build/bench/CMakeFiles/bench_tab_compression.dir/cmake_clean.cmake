@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_compression.dir/bench_tab_compression.cpp.o"
+  "CMakeFiles/bench_tab_compression.dir/bench_tab_compression.cpp.o.d"
+  "bench_tab_compression"
+  "bench_tab_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

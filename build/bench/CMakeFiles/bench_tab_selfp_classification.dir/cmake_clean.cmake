@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_selfp_classification.dir/bench_tab_selfp_classification.cpp.o"
+  "CMakeFiles/bench_tab_selfp_classification.dir/bench_tab_selfp_classification.cpp.o.d"
+  "bench_tab_selfp_classification"
+  "bench_tab_selfp_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_selfp_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

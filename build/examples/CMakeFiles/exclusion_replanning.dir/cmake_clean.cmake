@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exclusion_replanning.dir/exclusion_replanning.cpp.o"
+  "CMakeFiles/exclusion_replanning.dir/exclusion_replanning.cpp.o.d"
+  "exclusion_replanning"
+  "exclusion_replanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exclusion_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_tracking.dir/feature_tracking.cpp.o"
+  "CMakeFiles/feature_tracking.dir/feature_tracking.cpp.o.d"
+  "feature_tracking"
+  "feature_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

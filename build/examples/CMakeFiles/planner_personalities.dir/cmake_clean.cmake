@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_personalities.dir/planner_personalities.cpp.o"
+  "CMakeFiles/planner_personalities.dir/planner_personalities.cpp.o.d"
+  "planner_personalities"
+  "planner_personalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_personalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

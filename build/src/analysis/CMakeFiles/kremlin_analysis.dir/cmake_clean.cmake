@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_analysis.dir/ControlDependence.cpp.o"
+  "CMakeFiles/kremlin_analysis.dir/ControlDependence.cpp.o.d"
+  "CMakeFiles/kremlin_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/kremlin_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/kremlin_analysis.dir/Induction.cpp.o"
+  "CMakeFiles/kremlin_analysis.dir/Induction.cpp.o.d"
+  "CMakeFiles/kremlin_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/kremlin_analysis.dir/Loops.cpp.o.d"
+  "libkremlin_analysis.a"
+  "libkremlin_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

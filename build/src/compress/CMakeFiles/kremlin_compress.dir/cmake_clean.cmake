@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_compress.dir/Dictionary.cpp.o"
+  "CMakeFiles/kremlin_compress.dir/Dictionary.cpp.o.d"
+  "CMakeFiles/kremlin_compress.dir/TraceIO.cpp.o"
+  "CMakeFiles/kremlin_compress.dir/TraceIO.cpp.o.d"
+  "libkremlin_compress.a"
+  "libkremlin_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

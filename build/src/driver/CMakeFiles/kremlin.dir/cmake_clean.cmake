@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin.dir/KremlinTool.cpp.o"
+  "CMakeFiles/kremlin.dir/KremlinTool.cpp.o.d"
+  "kremlin"
+  "kremlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_driver.dir/KremlinDriver.cpp.o"
+  "CMakeFiles/kremlin_driver.dir/KremlinDriver.cpp.o.d"
+  "libkremlin_driver.a"
+  "libkremlin_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_instrument.dir/Instrumenter.cpp.o"
+  "CMakeFiles/kremlin_instrument.dir/Instrumenter.cpp.o.d"
+  "libkremlin_instrument.a"
+  "libkremlin_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

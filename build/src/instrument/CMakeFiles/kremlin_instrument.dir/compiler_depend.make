@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kremlin_instrument.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/kremlin_interp.dir/Interpreter.cpp.o.d"
+  "libkremlin_interp.a"
+  "libkremlin_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/ir/CMakeFiles/kremlin_ir.dir/Opcode.cpp.o: \
+ /root/repo/src/ir/Opcode.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/ir/Opcode.h

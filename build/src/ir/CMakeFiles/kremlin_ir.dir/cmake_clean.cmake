@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/kremlin_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/kremlin_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/kremlin_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/kremlin_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/kremlin_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/kremlin_ir.dir/Region.cpp.o"
+  "CMakeFiles/kremlin_ir.dir/Region.cpp.o.d"
+  "CMakeFiles/kremlin_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/kremlin_ir.dir/Verifier.cpp.o.d"
+  "libkremlin_ir.a"
+  "libkremlin_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

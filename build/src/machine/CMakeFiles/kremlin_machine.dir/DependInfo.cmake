@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/ExecutionSimulator.cpp" "src/machine/CMakeFiles/kremlin_machine.dir/ExecutionSimulator.cpp.o" "gcc" "src/machine/CMakeFiles/kremlin_machine.dir/ExecutionSimulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/planner/CMakeFiles/kremlin_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/kremlin_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kremlin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/kremlin_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/kremlin_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/kremlin_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

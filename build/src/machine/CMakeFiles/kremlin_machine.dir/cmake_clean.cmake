@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_machine.dir/ExecutionSimulator.cpp.o"
+  "CMakeFiles/kremlin_machine.dir/ExecutionSimulator.cpp.o.d"
+  "libkremlin_machine.a"
+  "libkremlin_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

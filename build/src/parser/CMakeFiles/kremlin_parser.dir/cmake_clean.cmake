@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/kremlin_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/kremlin_parser.dir/Lower.cpp.o"
+  "CMakeFiles/kremlin_parser.dir/Lower.cpp.o.d"
+  "CMakeFiles/kremlin_parser.dir/Parser.cpp.o"
+  "CMakeFiles/kremlin_parser.dir/Parser.cpp.o.d"
+  "libkremlin_parser.a"
+  "libkremlin_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_planner.dir/Personality.cpp.o"
+  "CMakeFiles/kremlin_planner.dir/Personality.cpp.o.d"
+  "CMakeFiles/kremlin_planner.dir/RegionTree.cpp.o"
+  "CMakeFiles/kremlin_planner.dir/RegionTree.cpp.o.d"
+  "libkremlin_planner.a"
+  "libkremlin_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

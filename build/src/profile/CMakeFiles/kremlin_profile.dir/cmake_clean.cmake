@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_profile.dir/ParallelismProfile.cpp.o"
+  "CMakeFiles/kremlin_profile.dir/ParallelismProfile.cpp.o.d"
+  "libkremlin_profile.a"
+  "libkremlin_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

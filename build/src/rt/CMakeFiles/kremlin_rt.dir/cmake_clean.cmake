@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_rt.dir/KremlinRuntime.cpp.o"
+  "CMakeFiles/kremlin_rt.dir/KremlinRuntime.cpp.o.d"
+  "CMakeFiles/kremlin_rt.dir/ShadowMemory.cpp.o"
+  "CMakeFiles/kremlin_rt.dir/ShadowMemory.cpp.o.d"
+  "libkremlin_rt.a"
+  "libkremlin_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

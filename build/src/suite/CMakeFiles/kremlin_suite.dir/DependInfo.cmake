@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/PaperSuite.cpp" "src/suite/CMakeFiles/kremlin_suite.dir/PaperSuite.cpp.o" "gcc" "src/suite/CMakeFiles/kremlin_suite.dir/PaperSuite.cpp.o.d"
+  "/root/repo/src/suite/SourceGenerator.cpp" "src/suite/CMakeFiles/kremlin_suite.dir/SourceGenerator.cpp.o" "gcc" "src/suite/CMakeFiles/kremlin_suite.dir/SourceGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/kremlin_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kremlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

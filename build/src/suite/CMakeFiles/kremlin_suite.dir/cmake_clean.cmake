@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_suite.dir/PaperSuite.cpp.o"
+  "CMakeFiles/kremlin_suite.dir/PaperSuite.cpp.o.d"
+  "CMakeFiles/kremlin_suite.dir/SourceGenerator.cpp.o"
+  "CMakeFiles/kremlin_suite.dir/SourceGenerator.cpp.o.d"
+  "libkremlin_suite.a"
+  "libkremlin_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

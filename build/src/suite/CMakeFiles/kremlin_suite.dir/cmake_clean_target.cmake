@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkremlin_suite.a"
+)

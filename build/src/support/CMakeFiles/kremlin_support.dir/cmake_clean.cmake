@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kremlin_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/kremlin_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/kremlin_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/kremlin_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/kremlin_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/kremlin_support.dir/TablePrinter.cpp.o.d"
+  "libkremlin_support.a"
+  "libkremlin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kremlin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcpa_test.dir/HcpaTest.cpp.o"
+  "CMakeFiles/hcpa_test.dir/HcpaTest.cpp.o.d"
+  "hcpa_test"
+  "hcpa_test.pdb"
+  "hcpa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

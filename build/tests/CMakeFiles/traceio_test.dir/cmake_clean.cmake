@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceio_test.dir/TraceIOTest.cpp.o"
+  "CMakeFiles/traceio_test.dir/TraceIOTest.cpp.o.d"
+  "traceio_test"
+  "traceio_test.pdb"
+  "traceio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
