@@ -7,7 +7,10 @@
 /// \file
 /// Helpers shared by the per-figure/table bench binaries: run the full
 /// Kremlin pipeline over a paper benchmark, map its MANUAL plan to region
-/// ids, and evaluate plans on the machine model.
+/// ids, evaluate plans on the machine model, and emit each figure's
+/// headline numbers as a structured JSON document when --json=<path> is
+/// passed (the same {"metrics": {...}} shape kremlin-bench writes, so one
+/// parser reads both).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,14 +20,69 @@
 #include "driver/KremlinDriver.h"
 #include "machine/ExecutionSimulator.h"
 #include "suite/PaperSuite.h"
+#include "support/Json.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace kremlin::bench {
+
+/// Collects a figure's metrics and writes them as JSON on destruction when
+/// the binary was invoked with --json=<path>. The constructor strips the
+/// --json flag out of argv so later flag parsers (google-benchmark's
+/// Initialize) never see it.
+class BenchReporter {
+public:
+  BenchReporter(std::string Figure, int &Argc, char **Argv)
+      : Figure(std::move(Figure)) {
+    int Kept = 1;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--json=", 0) == 0)
+        OutPath = Arg.substr(7);
+      else
+        Argv[Kept++] = Argv[I];
+    }
+    Argc = Kept;
+  }
+
+  BenchReporter(const BenchReporter &) = delete;
+  BenchReporter &operator=(const BenchReporter &) = delete;
+
+  /// Records one metric (insertion order is preserved in the output).
+  void metric(const std::string &Name, double Value) {
+    Metrics.emplace_back(Name, Value);
+  }
+
+  bool enabled() const { return !OutPath.empty(); }
+
+  ~BenchReporter() {
+    if (OutPath.empty())
+      return;
+    JsonValue Doc = JsonValue::makeObject();
+    Doc.set("schema", JsonValue(1));
+    Doc.set("kind", JsonValue("kremlin-bench-figure"));
+    Doc.set("figure", JsonValue(Figure));
+    JsonValue Map = JsonValue::makeObject();
+    for (const auto &M : Metrics)
+      Map.set(M.first, JsonValue(M.second));
+    Doc.set("metrics", std::move(Map));
+    if (!writeStringToFile(OutPath, Doc.serialize() + "\n"))
+      std::fprintf(stderr, "bench: cannot write '%s'\n", OutPath.c_str());
+    else
+      std::printf("\nmetrics written to %s\n", OutPath.c_str());
+  }
+
+private:
+  std::string Figure;
+  std::string OutPath;
+  std::vector<std::pair<std::string, double>> Metrics;
+};
 
 /// One fully profiled paper benchmark.
 struct BenchRun {

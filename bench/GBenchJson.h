@@ -1,0 +1,58 @@
+//===- bench/GBenchJson.h - google-benchmark JSON capture -------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replacement for BENCHMARK_MAIN() in the micro-bench binaries: runs the
+/// registered google-benchmark cases with the normal console output while
+/// also capturing each case's per-iteration real time into a BenchReporter,
+/// so the micro benches emit the same --json=<path> documents as the
+/// figure/table benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_BENCH_GBENCHJSON_H
+#define KREMLIN_BENCH_GBENCHJSON_H
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+namespace kremlin::bench {
+
+/// ConsoleReporter that tees every successful run's adjusted real time
+/// (ns/iteration) into a BenchReporter as "<case>.real_ns".
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonCaptureReporter(BenchReporter &Reporter)
+      : Reporter(Reporter) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (!R.error_occurred)
+        Reporter.metric(R.benchmark_name() + ".real_ns",
+                        R.GetAdjustedRealTime());
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  BenchReporter &Reporter;
+};
+
+/// Drop-in main body: strip --json, init google-benchmark, run everything
+/// through the capturing reporter.
+inline int gbenchJsonMain(const std::string &Figure, int argc, char **argv) {
+  BenchReporter Reporter(Figure, argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonCaptureReporter Console(Reporter);
+  benchmark::RunSpecifiedBenchmarks(&Console);
+  return 0;
+}
+
+} // namespace kremlin::bench
+
+#endif // KREMLIN_BENCH_GBENCHJSON_H

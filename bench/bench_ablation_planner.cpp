@@ -24,7 +24,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("ablation_planner", argc, argv);
   std::printf("Planner ablations (DP vs greedy; OpenMP vs Cilk++)\n\n");
   TablePrinter Table;
   Table.setHeader({"Benchmark", "DP size", "DP x", "greedy size",
@@ -43,6 +44,9 @@ int main() {
 
     SimOutcome DpOut = Sim.evaluatePlan(Dp.regionIds());
     SimOutcome GreedyOut = Sim.evaluatePlan(Greedy.regionIds());
+    Reporter.metric(Name + ".dp_sim_speedup", DpOut.speedup());
+    Reporter.metric(Name + ".greedy_sim_speedup", GreedyOut.speedup());
+    Reporter.metric(Name + ".cilk_plan_size", Cilk.Items.size());
     Table.addRow({Name, formatString("%zu", Dp.Items.size()),
                   formatFactor(DpOut.speedup()),
                   formatString("%zu", Greedy.Items.size()),

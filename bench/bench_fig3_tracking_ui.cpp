@@ -27,7 +27,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig3_tracking_ui", argc, argv);
   std::printf("Figure 3: Kremlin UI on the feature-tracking benchmark\n\n");
   std::printf("$> make CC=kremlin-cc\n$> ./tracking data\n"
               "$> kremlin tracking --personality=openmp\n\n");
@@ -39,6 +40,14 @@ int main() {
     return 1;
   }
   std::fputs(printPlan(*Result.M, Result.ThePlan, 10).c_str(), stdout);
+  Reporter.metric("tracking.plan_size", Result.ThePlan.Items.size());
+  Reporter.metric("tracking.dyn_instructions", Result.Exec.DynInstructions);
+  if (!Result.ThePlan.Items.empty()) {
+    Reporter.metric("tracking.top_self_parallelism",
+                    Result.ThePlan.Items.front().SelfP);
+    Reporter.metric("tracking.top_coverage_pct",
+                    Result.ThePlan.Items.front().CoveragePct);
+  }
   std::printf("\npaper top rows: imageBlur 145.3/9.7, imageBlur 145.3/8.7, "
               "getInterpPatch 25.3/8.86,\ncalcSobel_dX 126.2/8.1, "
               "calcSobel_dX 126.2/8.1\n");

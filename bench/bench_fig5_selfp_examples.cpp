@@ -33,7 +33,8 @@ std::pair<double, double> firstLoopSp(const std::string &Source) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig5_selfp_examples", argc, argv);
   std::printf("Figure 5: self-parallelism worked examples\n\n");
   TablePrinter Table;
   Table.setHeader({"case", "children n", "measured SP", "expected"});
@@ -59,6 +60,7 @@ int main() {
     Table.addRow({formatString("serial children (n=%u)", N),
                   formatFixed(ItersSerial, 0), formatFixed(SpSerial, 2),
                   "= 1"});
+    Reporter.metric(formatString("serial_n%u.self_parallelism", N), SpSerial);
 
     std::string Parallel = formatString(R"(
       int a[%u];
@@ -73,6 +75,7 @@ int main() {
     Table.addRow({formatString("parallel children (n=%u)", N),
                   formatFixed(ItersPar, 0), formatFixed(SpPar, 2),
                   formatString("~ %u", N)});
+    Reporter.metric(formatString("parallel_n%u.self_parallelism", N), SpPar);
   }
   std::fputs(Table.render().c_str(), stdout);
   std::printf("\npaper: SP(serial) = n*cp / (n*cp) = 1;  "

@@ -18,7 +18,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig6a_plan_size", argc, argv);
   std::printf("Figure 6(a): plan size comparison (measured vs paper)\n\n");
   TablePrinter Table;
   Table.setHeader({"Benchmark", "MANUAL", "Kremlin", "Overlap", "Reduction",
@@ -54,6 +55,9 @@ int main() {
                   formatString("%u", Facts.ManualPlanSize),
                   formatString("%u", Facts.KremlinPlanSize),
                   formatString("%u", Facts.Overlap)});
+    Reporter.metric(Name + ".manual_plan_size", Manual.size());
+    Reporter.metric(Name + ".plan_size", Kremlin.size());
+    Reporter.metric(Name + ".plan_overlap", Overlap);
   }
   Table.addSeparator();
   Table.addRow({"Overall", formatString("%u", TotalManual),
@@ -67,5 +71,8 @@ int main() {
   std::fputs(Table.render().c_str(), stdout);
   std::printf("\npaper overall: MANUAL 211, Kremlin 134, overlap 116, "
               "reduction 1.57x\n");
+  Reporter.metric("overall.manual_plan_size", TotalManual);
+  Reporter.metric("overall.plan_size", TotalKremlin);
+  Reporter.metric("overall.plan_overlap", TotalOverlap);
   return 0;
 }

@@ -17,7 +17,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig6b_speedup", argc, argv);
   std::printf("Figure 6(b): Kremlin vs MANUAL speedup (measured vs paper)\n\n");
   TablePrinter Table;
   Table.setHeader({"Benchmark", "Kremlin x", "cores", "MANUAL x", "cores",
@@ -35,6 +36,10 @@ int main() {
     GeoMean *= Relative;
     ++Count;
 
+    Reporter.metric(Name + ".sim_speedup", Kremlin.speedup());
+    Reporter.metric(Name + ".manual_sim_speedup", Manual.speedup());
+    Reporter.metric(Name + ".relative_speedup", Relative);
+
     PaperFacts Facts = paperFacts(Name);
     Table.addRow({Name, formatFactor(Kremlin.speedup()),
                   formatString("%u", Kremlin.BestCores),
@@ -44,6 +49,7 @@ int main() {
                   formatFactor(Facts.RelativeSpeedup)});
   }
   GeoMean = std::pow(GeoMean, 1.0 / Count);
+  Reporter.metric("overall.relative_speedup_geomean", GeoMean);
   Table.addSeparator();
   Table.addRow({"geomean", "", "", "", "", formatFactor(GeoMean), ""});
   std::fputs(Table.render().c_str(), stdout);

@@ -19,7 +19,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig7_marginal_benefit", argc, argv);
   std::printf("Figure 7: marginal time reduction per parallelized region\n");
   std::printf("(cumulative %% of serial execution time removed; '|' marks "
               "the end of Kremlin's plan)\n\n");
@@ -53,6 +54,12 @@ int main() {
     }
     std::printf("   [total %.1f%%]\n",
                 (Cum.empty() ? 0.0 : Cum.back()) * 100.0);
+    Reporter.metric(Name + ".total_time_reduction_pct",
+                    (Cum.empty() ? 0.0 : Cum.back()) * 100.0);
+    Reporter.metric(Name + ".kremlin_plan_reduction_pct",
+                    (KremlinCount == 0 || Cum.empty()
+                         ? 0.0
+                         : Cum[KremlinCount - 1] * 100.0));
   }
   std::printf("\npaper shape: regions right of the dotted line (MANUAL-only)"
               " add negligible benefit;\nmarginals are mostly decreasing but"

@@ -18,7 +18,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig8_priority_table", argc, argv);
   std::printf("Figure 8: marginal benefit of region parallelization\n\n");
   TablePrinter Table;
   Table.setHeader({"Benchmark", "25%", "50%", "75%", "100%"});
@@ -51,8 +52,12 @@ int main() {
   std::vector<std::string> AvgRow = {"average benefit"};
   std::vector<std::string> MargRow = {"marginal avg benefit"};
   double Prev = 0.0;
+  static const char *QuartileKeys[4] = {
+      "overall.benefit_at_25pct", "overall.benefit_at_50pct",
+      "overall.benefit_at_75pct", "overall.benefit_at_100pct"};
   for (int Q = 0; Q < 4; ++Q) {
     double A = Avg[Q] / std::max(1u, Count);
+    Reporter.metric(QuartileKeys[Q], A);
     AvgRow.push_back(formatPercent(A, 1));
     MargRow.push_back(formatPercent(A - Prev, 1));
     Prev = A;

@@ -16,7 +16,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("fig9_plan_reduction", argc, argv);
   std::printf("Figure 9: plan size reduction by planning component\n\n");
   TablePrinter Table;
   Table.setHeader({"Benchmark", "regions", "work %", "self-P %", "planner %"});
@@ -48,6 +49,9 @@ int main() {
   Table.addRow({"average", "", formatFixed(AvgWork / Count, 1),
                 formatFixed(AvgSelfP / Count, 1),
                 formatFixed(AvgFull / Count, 1)});
+  Reporter.metric("overall.work_only_plan_pct", AvgWork / Count);
+  Reporter.metric("overall.selfp_filter_plan_pct", AvgSelfP / Count);
+  Reporter.metric("overall.full_planner_plan_pct", AvgFull / Count);
   std::fputs(Table.render().c_str(), stdout);
   std::printf("\npaper averages: work-only ~58.9%%, + self-parallelism "
               "25.4%%, full planner 3.0%%\n");

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "GBenchJson.h"
+
 #include "compress/Dictionary.h"
 
 #include <benchmark/benchmark.h>
@@ -71,4 +73,6 @@ BENCHMARK(BM_ComputeMultiplicities)->Arg(8)->Arg(64)->Arg(512);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return kremlin::bench::gbenchJsonMain("micro_compress", argc, argv);
+}

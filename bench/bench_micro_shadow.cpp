@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "GBenchJson.h"
+
 #include "rt/ShadowMemory.h"
 
 #include <benchmark/benchmark.h>
@@ -81,4 +83,6 @@ BENCHMARK(BM_ShadowReadUnallocated);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return kremlin::bench::gbenchJsonMain("micro_shadow", argc, argv);
+}

@@ -19,7 +19,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("tab_compression", argc, argv);
   std::printf("Section 4.4: dictionary compression of region summaries\n\n");
   TablePrinter Table;
   Table.setHeader({"Benchmark", "dyn regions", "raw", "compressed",
@@ -32,6 +33,8 @@ int main() {
     const DictionaryCompressor &Dict = *Run.Result.Dict;
     RatioSum += Dict.compressionRatio();
     ++Count;
+    Reporter.metric(Name + ".compression_ratio", Dict.compressionRatio());
+    Reporter.metric(Name + ".compressed_bytes", Dict.compressedBytes());
     Table.addRow({Name,
                   formatString("%llu",
                                (unsigned long long)Dict.numDynamicRegions()),
@@ -44,6 +47,7 @@ int main() {
   Table.addRow({"average", "", "", "",
                 formatFactor(RatioSum / Count, 0), ""});
   std::fputs(Table.render().c_str(), stdout);
+  Reporter.metric("overall.compression_ratio_avg", RatioSum / Count);
 
   // Scaling sweep: the alphabet saturates while the raw trace grows
   // linearly with execution length, so the ratio scales ~linearly — this

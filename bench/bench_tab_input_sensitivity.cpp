@@ -48,7 +48,8 @@ std::vector<unsigned> planLines(const DriverResult &R) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("tab_input_sensitivity", argc, argv);
   std::printf("Section 6.1: input sensitivity (train-input plan evaluated "
               "on the ref input)\n\n");
   TablePrinter Table;
@@ -74,6 +75,7 @@ int main() {
     double Ratio = RefNative.speedup() > 0
                        ? TrainOnRef.speedup() / RefNative.speedup()
                        : 1.0;
+    Reporter.metric(Name + ".train_on_ref_ratio", Ratio);
     Table.addRow({Name, formatString("%zu", Train.ThePlan.Items.size()),
                   formatString("%zu", Ref.ThePlan.Items.size()),
                   formatFactor(TrainOnRef.speedup()),

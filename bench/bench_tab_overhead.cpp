@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "GBenchJson.h"
 
 #include "instrument/Instrumenter.h"
 #include "parser/Lower.h"
@@ -120,4 +120,6 @@ BENCHMARK(BM_GprofStyleHookPerInstruction);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return kremlin::bench::gbenchJsonMain("tab_overhead", argc, argv);
+}

@@ -18,7 +18,8 @@
 using namespace kremlin;
 using namespace kremlin::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("tab_selfp_classification", argc, argv);
   std::printf("Section 6.2: self-parallelism vs total-parallelism "
               "classification (threshold 5.0)\n\n");
   TablePrinter Table;
@@ -54,6 +55,9 @@ int main() {
                 formatString("%llu (%.1f%%)", (unsigned long long)LowSp,
                              100.0 * LowSp / Total)});
   std::fputs(Table.render().c_str(), stdout);
+  Reporter.metric("overall.regions", Total);
+  Reporter.metric("overall.low_by_total_parallelism", LowTp);
+  Reporter.metric("overall.low_by_self_parallelism", LowSp);
   std::printf("\nself-parallelism flags %.2fx more regions as "
               "low-parallelism than total-parallelism\n",
               static_cast<double>(LowSp) / static_cast<double>(LowTp));

@@ -32,7 +32,8 @@ unsigned totalPlanSize(const std::vector<BenchRun> &Runs,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Reporter("tab_threshold_sensitivity", argc, argv);
   std::printf("Section 5.1: planner threshold sensitivity "
               "(suite-wide plan size; published setting = 134)\n\n");
   std::vector<BenchRun> Runs;
@@ -45,15 +46,18 @@ int main() {
                    "plan@paper", "plan@high"});
 
   unsigned AtPaper = totalPlanSize(Runs, Base);
+  Reporter.metric("overall.plan_size_at_paper_settings", AtPaper);
 
   {
     PlannerOptions Lo = Base, Hi = Base;
     Lo.MinSelfParallelism = 4.0;
     Hi.MinSelfParallelism = 6.5;
+    unsigned AtLo = totalPlanSize(Runs, Lo), AtHi = totalPlanSize(Runs, Hi);
+    Reporter.metric("overall.plan_size_at_min_sp_4", AtLo);
+    Reporter.metric("overall.plan_size_at_min_sp_6_5", AtHi);
     Table.addRow({"min self-parallelism", "4.0", "5.0", "6.5",
-                  formatString("%u", totalPlanSize(Runs, Lo)),
-                  formatString("%u", AtPaper),
-                  formatString("%u", totalPlanSize(Runs, Hi))});
+                  formatString("%u", AtLo), formatString("%u", AtPaper),
+                  formatString("%u", AtHi)});
   }
   {
     PlannerOptions Lo = Base, Hi = Base;

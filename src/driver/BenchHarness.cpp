@@ -1,0 +1,287 @@
+//===- driver/BenchHarness.cpp --------------------------------------------===//
+
+#include "driver/BenchHarness.h"
+
+#include "driver/KremlinDriver.h"
+#include "machine/ExecutionSimulator.h"
+#include "suite/PaperSuite.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+
+using namespace kremlin;
+
+namespace {
+
+struct BenchTaskResult {
+  MetricMap Metrics;
+  std::vector<std::string> Errors;
+};
+
+double elapsedMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Runs one paper benchmark through a private pipeline instance and
+/// collects its metrics. Each call constructs its own KremlinDriver, and
+/// through it its own Interpreter, ShadowMemory, and KremlinRuntime — no
+/// state is shared between concurrent calls.
+BenchTaskResult runOneBenchmark(const std::string &Name,
+                                const BenchSuiteOptions &Opts) {
+  BenchTaskResult Out;
+  auto Start = std::chrono::steady_clock::now();
+
+  // paperBenchmarkSpec aborts on unknown names; turn a bad --benchmarks=
+  // entry into a reportable error instead.
+  const std::vector<std::string> &Known = paperBenchmarkNames();
+  if (std::find(Known.begin(), Known.end(), Name) == Known.end()) {
+    Out.Errors.push_back(Name + ": unknown paper benchmark");
+    return Out;
+  }
+
+  GeneratedBenchmark GB = generatePaperBenchmark(Name);
+  DriverOptions DriverOpts;
+  DriverOpts.PersonalityName = Opts.PersonalityName;
+  KremlinDriver Driver(std::move(DriverOpts));
+  DriverResult R = Driver.runOnSource(GB.Source, Name + ".c");
+  if (!R.succeeded()) {
+    for (const std::string &E : R.Errors)
+      Out.Errors.push_back(Name + ": " + E);
+    return Out;
+  }
+
+  auto Metric = [&](const char *Key, double V) {
+    Out.Metrics[Name + "." + Key] = V;
+  };
+
+  Metric("dyn_instructions", static_cast<double>(R.Exec.DynInstructions));
+  Metric("dyn_regions", static_cast<double>(R.Dict->numDynamicRegions()));
+  Metric("raw_trace_bytes", static_cast<double>(R.Dict->rawTraceBytes()));
+  Metric("compressed_bytes", static_cast<double>(R.Dict->compressedBytes()));
+  Metric("compression_ratio", R.Dict->compressionRatio());
+  Metric("dict_alphabet", static_cast<double>(R.Dict->alphabet().size()));
+
+  std::vector<RegionId> Manual =
+      loopRegionsAtLines(*R.M, GB.manualLines());
+  std::set<RegionId> ManualSet(Manual.begin(), Manual.end());
+  std::set<RegionId> Kremlin;
+  for (const PlanItem &I : R.ThePlan.Items)
+    Kremlin.insert(I.Region);
+  unsigned Overlap = 0;
+  for (RegionId Region : Kremlin)
+    Overlap += ManualSet.count(Region);
+  Metric("plan_size", static_cast<double>(Kremlin.size()));
+  Metric("manual_plan_size", static_cast<double>(ManualSet.size()));
+  Metric("plan_overlap", Overlap);
+  Metric("est_speedup", R.ThePlan.EstProgramSpeedup);
+
+  double MaxSp = 1.0;
+  for (const RegionProfileEntry &E : R.Profile->entries())
+    if (E.Executed)
+      MaxSp = std::max(MaxSp, E.SelfParallelism);
+  Metric("max_self_parallelism", MaxSp);
+
+  if (Opts.Simulate) {
+    ExecutionSimulator Sim(*R.Profile);
+    SimOutcome KremlinOutcome = Sim.evaluatePlan(R.ThePlan.regionIds());
+    SimOutcome ManualOutcome = Sim.evaluatePlan(Manual);
+    Metric("sim_speedup", KremlinOutcome.speedup());
+    Metric("sim_best_cores", KremlinOutcome.BestCores);
+    Metric("manual_sim_speedup", ManualOutcome.speedup());
+  }
+
+  Metric("wall_ms", elapsedMs(Start));
+  return Out;
+}
+
+} // namespace
+
+BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
+  BenchSuiteResult Result;
+  auto Start = std::chrono::steady_clock::now();
+
+  std::vector<std::string> Names =
+      Opts.Benchmarks.empty() ? paperBenchmarkNames() : Opts.Benchmarks;
+
+  ThreadPool Pool(Opts.Threads);
+  Result.ThreadsUsed = Pool.size();
+
+  std::vector<std::future<BenchTaskResult>> Futures;
+  Futures.reserve(Names.size());
+  for (const std::string &Name : Names)
+    Futures.push_back(
+        Pool.submit([Name, &Opts]() { return runOneBenchmark(Name, Opts); }));
+
+  for (std::future<BenchTaskResult> &F : Futures) {
+    BenchTaskResult Task = F.get();
+    Result.Metrics.insert(Task.Metrics.begin(), Task.Metrics.end());
+    Result.Errors.insert(Result.Errors.end(), Task.Errors.begin(),
+                         Task.Errors.end());
+  }
+
+  Result.Metrics["suite.benchmarks"] = static_cast<double>(Names.size());
+  Result.Metrics["suite.threads"] = Result.ThreadsUsed;
+  Result.Metrics["suite.wall_ms"] = elapsedMs(Start);
+  return Result;
+}
+
+std::string kremlin::metricsToJson(const MetricMap &Metrics,
+                                   const std::string &Kind) {
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("schema", JsonValue(1));
+  Doc.set("kind", JsonValue(Kind));
+  JsonValue Map = JsonValue::makeObject();
+  for (const auto &M : Metrics)
+    Map.set(M.first, JsonValue(M.second));
+  Doc.set("metrics", std::move(Map));
+  return Doc.serialize() + "\n";
+}
+
+bool kremlin::parseMetricsJson(std::string_view Json, MetricMap &Out,
+                               std::string *Error) {
+  JsonValue Doc;
+  if (!JsonValue::parse(Json, Doc, Error))
+    return false;
+  const JsonValue *Map = Doc.get("metrics");
+  if (!Map || !Map->isObject()) {
+    if (Error)
+      *Error = "document has no \"metrics\" object";
+    return false;
+  }
+  Out.clear();
+  for (const auto &M : Map->members()) {
+    if (!M.second.isNumber()) {
+      if (Error)
+        *Error = "metric \"" + M.first + "\" is not a number";
+      return false;
+    }
+    Out[M.first] = M.second.asNumber();
+  }
+  return true;
+}
+
+namespace {
+
+/// Baseline tolerance policy: relative slack per metric suffix. Negative
+/// means informational-only (never fails). Everything the pipeline
+/// computes is deterministic, so the default is tight; timing and
+/// machine-shape metrics are excluded from gating.
+struct TolerancePolicy {
+  double Default = 0.02;
+  std::map<std::string, double> BySuffix = {
+      {"wall_ms", -1.0}, {"threads", -1.0}, {"benchmarks", 0.0}};
+
+  double lookup(const std::string &Metric) const {
+    size_t Dot = Metric.rfind('.');
+    std::string Suffix =
+        Dot == std::string::npos ? Metric : Metric.substr(Dot + 1);
+    auto It = BySuffix.find(Suffix);
+    return It != BySuffix.end() ? It->second : Default;
+  }
+};
+
+} // namespace
+
+std::string kremlin::makeBaselineJson(const MetricMap &Metrics) {
+  TolerancePolicy Policy;
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("schema", JsonValue(1));
+  Doc.set("kind", JsonValue("kremlin-bench-baseline"));
+  Doc.set("default_tolerance", JsonValue(Policy.Default));
+  JsonValue Tols = JsonValue::makeObject();
+  for (const auto &T : Policy.BySuffix)
+    Tols.set(T.first, JsonValue(T.second));
+  Doc.set("tolerances", std::move(Tols));
+  JsonValue Map = JsonValue::makeObject();
+  for (const auto &M : Metrics)
+    Map.set(M.first, JsonValue(M.second));
+  Doc.set("metrics", std::move(Map));
+  return Doc.serialize() + "\n";
+}
+
+BaselineComparison kremlin::compareToBaseline(const MetricMap &Actual,
+                                              std::string_view BaselineJson,
+                                              double ToleranceOverride) {
+  BaselineComparison Cmp;
+
+  JsonValue Doc;
+  std::string Error;
+  if (!JsonValue::parse(BaselineJson, Doc, &Error)) {
+    Cmp.Errors.push_back("baseline: " + Error);
+    return Cmp;
+  }
+  MetricMap Expected;
+  if (!parseMetricsJson(BaselineJson, Expected, &Error)) {
+    Cmp.Errors.push_back("baseline: " + Error);
+    return Cmp;
+  }
+
+  TolerancePolicy Policy;
+  Policy.Default = Doc.getNumber("default_tolerance", Policy.Default);
+  if (ToleranceOverride >= 0.0)
+    Policy.Default = ToleranceOverride;
+  if (const JsonValue *Tols = Doc.get("tolerances"); Tols && Tols->isObject())
+    for (const auto &T : Tols->members())
+      if (T.second.isNumber())
+        Policy.BySuffix[T.first] = T.second.asNumber();
+
+  for (const auto &E : Expected) {
+    MetricDelta Delta;
+    Delta.Name = E.first;
+    Delta.Expected = E.second;
+    Delta.Tolerance = Policy.lookup(E.first);
+    Delta.Skipped = Delta.Tolerance < 0.0;
+
+    auto It = Actual.find(E.first);
+    if (It == Actual.end()) {
+      Delta.Missing = true;
+    } else {
+      Delta.Actual = It->second;
+      Delta.RelError = std::fabs(Delta.Actual - Delta.Expected) /
+                       std::max(std::fabs(Delta.Expected), 1e-12);
+    }
+
+    if (Delta.Skipped)
+      ++Cmp.NumSkipped;
+    else {
+      ++Cmp.NumChecked;
+      if (Delta.failed())
+        ++Cmp.NumFailed;
+    }
+    Cmp.Deltas.push_back(std::move(Delta));
+  }
+  return Cmp;
+}
+
+std::string BaselineComparison::render() const {
+  std::string Out;
+  for (const std::string &E : Errors)
+    Out += "error: " + E + "\n";
+  if (!Errors.empty())
+    return Out;
+
+  for (const MetricDelta &D : Deltas) {
+    if (!D.failed())
+      continue;
+    if (D.Missing)
+      Out += formatString("FAIL %-34s missing from run (baseline %s)\n",
+                          D.Name.c_str(),
+                          formatJsonNumber(D.Expected).c_str());
+    else
+      Out += formatString(
+          "FAIL %-34s baseline %-12s got %-12s (%.1f%% off, tol %.1f%%)\n",
+          D.Name.c_str(), formatJsonNumber(D.Expected).c_str(),
+          formatJsonNumber(D.Actual).c_str(), D.RelError * 100.0,
+          D.Tolerance * 100.0);
+  }
+  Out += formatString("baseline: %u checked, %u failed, %u informational\n",
+                      NumChecked, NumFailed, NumSkipped);
+  Out += passed() ? "baseline: PASS\n" : "baseline: REGRESSION\n";
+  return Out;
+}

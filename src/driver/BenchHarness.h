@@ -1,0 +1,124 @@
+//===- driver/BenchHarness.h - Parallel suite harness -----------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `kremlin-bench` harness: runs the paper benchmark suite through the
+/// full pipeline — each benchmark on its own ThreadPool worker with its own
+/// Interpreter + ShadowMemory + KremlinRuntime instance, so runs are
+/// embarrassingly parallel — and collects the paper's quantitative story as
+/// a flat metric map (dynamic instruction counts, self-parallelism, plan
+/// sizes and overlap with MANUAL, compression ratios, simulated speedups,
+/// wall times). The map serializes to `BENCH_results.json` and compares
+/// against a checked-in `bench/baseline.json` with per-metric relative
+/// tolerances; inherently noisy metrics (wall time) carry a negative
+/// tolerance in the baseline, which marks them informational-only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_DRIVER_BENCHHARNESS_H
+#define KREMLIN_DRIVER_BENCHHARNESS_H
+
+#include "support/Json.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kremlin {
+
+/// Metric keys are "<benchmark>.<metric>" (e.g. "cg.plan_size") plus
+/// whole-suite "suite.*" entries. An ordered map keeps emitted JSON and
+/// comparison reports stable.
+using MetricMap = std::map<std::string, double>;
+
+/// Configuration for one suite run.
+struct BenchSuiteOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned Threads = 0;
+  /// Planner personality used for every benchmark.
+  std::string PersonalityName = "openmp";
+  /// Subset of paper benchmark names; empty = the full suite.
+  std::vector<std::string> Benchmarks;
+  /// Also evaluate the Kremlin and MANUAL plans on the machine model.
+  bool Simulate = true;
+};
+
+/// Everything one suite run produces.
+struct BenchSuiteResult {
+  MetricMap Metrics;
+  unsigned ThreadsUsed = 1;
+  /// Pipeline failures ("<bench>: <error>"); empty on success.
+  std::vector<std::string> Errors;
+
+  bool succeeded() const { return Errors.empty(); }
+};
+
+/// Runs the suite across a thread pool. Per-benchmark metrics are
+/// deterministic and independent of the thread count; only *.wall_ms and
+/// suite.* timing entries vary between machines and runs.
+BenchSuiteResult runBenchSuite(const BenchSuiteOptions &Opts);
+
+/// Serializes a metric map as a results document:
+///   {"schema": 1, "kind": <Kind>, "metrics": {...}}
+std::string metricsToJson(const MetricMap &Metrics,
+                          const std::string &Kind = "kremlin-bench");
+
+/// Parses the "metrics" object out of a results or baseline document.
+/// Returns false and fills \p Error on malformed input.
+bool parseMetricsJson(std::string_view Json, MetricMap &Out,
+                      std::string *Error = nullptr);
+
+/// Serializes \p Metrics as a baseline document: the metrics plus the
+/// default tolerance block (wall-time metrics marked informational).
+std::string makeBaselineJson(const MetricMap &Metrics);
+
+/// One compared metric.
+struct MetricDelta {
+  std::string Name;
+  double Expected = 0.0;
+  double Actual = 0.0;
+  /// |actual - expected| / max(|expected|, 1e-12).
+  double RelError = 0.0;
+  double Tolerance = 0.0;
+  /// Informational metric (negative tolerance): never fails the run.
+  bool Skipped = false;
+  /// Metric present in the baseline but absent from the run.
+  bool Missing = false;
+
+  bool failed() const {
+    return !Skipped && (Missing || RelError > Tolerance);
+  }
+};
+
+/// Result of comparing a run against a baseline.
+struct BaselineComparison {
+  std::vector<MetricDelta> Deltas;
+  /// Baseline parse/shape problems; non-empty means the comparison could
+  /// not run (and passed() is false).
+  std::vector<std::string> Errors;
+  unsigned NumChecked = 0;
+  unsigned NumSkipped = 0;
+  unsigned NumFailed = 0;
+
+  bool passed() const { return Errors.empty() && NumFailed == 0; }
+
+  /// Renders a human-readable report (failed metrics first).
+  std::string render() const;
+};
+
+/// Compares \p Actual against a baseline document. The baseline supplies
+/// "default_tolerance" and a "tolerances" object keyed by metric suffix
+/// (the part after the last '.'); \p ToleranceOverride, when >= 0,
+/// replaces the default tolerance for metrics without a suffix entry.
+/// Metrics with a negative tolerance are reported but never fail.
+BaselineComparison compareToBaseline(const MetricMap &Actual,
+                                     std::string_view BaselineJson,
+                                     double ToleranceOverride = -1.0);
+
+} // namespace kremlin
+
+#endif // KREMLIN_DRIVER_BENCHHARNESS_H

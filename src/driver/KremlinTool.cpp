@@ -12,17 +12,26 @@
 //   kremlin prog.c --exclude=12,17                 exclusion-list replanning
 //   kremlin --bench=ft                             run a suite benchmark
 //
+// plus the regression harness (also built as the `kremlin-bench` binary):
+//
+//   kremlin bench                                  parallel suite run + JSON
+//   kremlin bench --check-baseline                 fail on metric regression
+//   kremlin bench --update-baseline                refresh bench/baseline.json
+//
 //===----------------------------------------------------------------------===//
 
 #include "compress/TraceIO.h"
+#include "driver/BenchHarness.h"
 #include "driver/KremlinDriver.h"
 #include "ir/IRPrinter.h"
 #include "parser/Lower.h"
 #include "suite/PaperSuite.h"
 #include "support/StringUtils.h"
+#include "support/TablePrinter.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -55,9 +64,138 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+void printBenchUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kremlin-bench [options]   (or: kremlin bench [options])\n"
+      "  --threads=<n>            worker threads (default: hardware)\n"
+      "  --benchmarks=<a,b,...>   subset of the paper suite\n"
+      "  --personality=<name>     planner personality (default openmp)\n"
+      "  --out=<path>             results JSON (default BENCH_results.json)\n"
+      "  --baseline=<path>        baseline JSON (default bench/baseline.json)\n"
+      "  --check-baseline         compare against baseline; nonzero on "
+      "regression\n"
+      "  --update-baseline        rewrite the baseline from this run\n"
+      "  --tolerance=<f>          override the default relative tolerance\n"
+      "  --no-simulate            skip machine-model plan evaluation\n");
+}
+
+/// The `kremlin-bench` harness entry point; \p Args excludes argv[0] and
+/// the `bench` subcommand word.
+int benchMain(const std::vector<std::string> &Args) {
+  BenchSuiteOptions Opts;
+  std::string OutPath = "BENCH_results.json";
+  std::string BaselinePath = "bench/baseline.json";
+  bool CheckBaseline = false, UpdateBaseline = false;
+  double Tolerance = -1.0;
+
+  for (const std::string &Arg : Args) {
+    auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
+    if (Arg.rfind("--threads=", 0) == 0) {
+      Opts.Threads =
+          static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--benchmarks=", 0) == 0) {
+      for (const std::string &Tok : splitString(Value(), ','))
+        if (!Tok.empty())
+          Opts.Benchmarks.push_back(Tok);
+    } else if (Arg.rfind("--personality=", 0) == 0) {
+      Opts.PersonalityName = Value();
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Value();
+    } else if (Arg.rfind("--baseline=", 0) == 0) {
+      BaselinePath = Value();
+    } else if (Arg.rfind("--tolerance=", 0) == 0) {
+      Tolerance = std::strtod(Value().c_str(), nullptr);
+    } else if (Arg == "--check-baseline") {
+      CheckBaseline = true;
+    } else if (Arg == "--update-baseline") {
+      UpdateBaseline = true;
+    } else if (Arg == "--no-simulate") {
+      Opts.Simulate = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printBenchUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "kremlin-bench: unknown option '%s'\n",
+                   Arg.c_str());
+      printBenchUsage();
+      return 1;
+    }
+  }
+
+  BenchSuiteResult Result = runBenchSuite(Opts);
+  for (const std::string &E : Result.Errors)
+    std::fprintf(stderr, "kremlin-bench: %s\n", E.c_str());
+  if (!Result.succeeded())
+    return 1;
+
+  // Per-benchmark summary table.
+  TablePrinter Table;
+  Table.setHeader({"Benchmark", "dyn insns", "plan", "manual", "overlap",
+                   "ratio", "sim", "wall"});
+  std::vector<std::string> Names =
+      Opts.Benchmarks.empty() ? paperBenchmarkNames() : Opts.Benchmarks;
+  auto Get = [&Result](const std::string &Name, const char *Key) {
+    auto It = Result.Metrics.find(Name + "." + std::string(Key));
+    return It == Result.Metrics.end() ? 0.0 : It->second;
+  };
+  for (const std::string &Name : Names)
+    Table.addRow(
+        {Name, formatString("%.0f", Get(Name, "dyn_instructions")),
+         formatString("%.0f", Get(Name, "plan_size")),
+         formatString("%.0f", Get(Name, "manual_plan_size")),
+         formatString("%.0f", Get(Name, "plan_overlap")),
+         formatFactor(Get(Name, "compression_ratio"), 0),
+         Opts.Simulate ? formatFactor(Get(Name, "sim_speedup")) : "-",
+         formatString("%.0f ms", Get(Name, "wall_ms"))});
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("suite: %zu benchmarks on %u threads in %.0f ms\n",
+              Names.size(), Result.ThreadsUsed,
+              Result.Metrics["suite.wall_ms"]);
+
+  if (!writeStringToFile(OutPath, metricsToJson(Result.Metrics))) {
+    std::fprintf(stderr, "kremlin-bench: cannot write '%s'\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  std::printf("results written to %s\n", OutPath.c_str());
+
+  if (UpdateBaseline) {
+    if (!writeStringToFile(BaselinePath, makeBaselineJson(Result.Metrics))) {
+      std::fprintf(stderr, "kremlin-bench: cannot write '%s'\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    std::printf("baseline written to %s\n", BaselinePath.c_str());
+    return 0;
+  }
+
+  if (CheckBaseline) {
+    std::string BaselineJson;
+    if (!readFileToString(BaselinePath, BaselineJson)) {
+      std::fprintf(stderr,
+                   "kremlin-bench: cannot read baseline '%s' "
+                   "(run with --update-baseline to create it)\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    BaselineComparison Cmp =
+        compareToBaseline(Result.Metrics, BaselineJson, Tolerance);
+    std::fputs(Cmp.render().c_str(), stdout);
+    return Cmp.passed() ? 0 : 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+#ifdef KREMLIN_TOOL_FORCE_BENCH
+  return benchMain(std::vector<std::string>(argv + 1, argv + argc));
+#endif
+  if (argc > 1 && std::strcmp(argv[1], "bench") == 0)
+    return benchMain(std::vector<std::string>(argv + 2, argv + argc));
+
   std::string Source;
   std::string SourceName;
   DriverOptions Opts;

@@ -7,6 +7,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
 
 using namespace kremlin;
 
@@ -253,20 +254,31 @@ private:
     uint64_t B = I.B != NoValue ? Regs[I.B] : 0;
     uint64_t R = 0;
     switch (I.Op) {
+    // MiniC integer arithmetic is trap-free with wrap-around semantics
+    // (suite benchmarks lean on overflowing LCG-style PRNGs), so compute
+    // in uint64_t — two's complement makes the bit patterns identical.
     case Opcode::Add:
-      R = fromI(toI(A) + toI(B));
+      R = A + B;
       break;
     case Opcode::Sub:
-      R = fromI(toI(A) - toI(B));
+      R = A - B;
       break;
     case Opcode::Mul:
-      R = fromI(toI(A) * toI(B));
+      R = A * B;
       break;
     case Opcode::Div:
-      R = fromI(toI(B) == 0 ? 0 : toI(A) / toI(B));
+      if (toI(B) == 0)
+        R = 0;
+      else if (toI(A) == INT64_MIN && toI(B) == -1)
+        R = fromI(INT64_MIN); // The one quotient that overflows: wrap.
+      else
+        R = fromI(toI(A) / toI(B));
       break;
     case Opcode::Rem:
-      R = fromI(toI(B) == 0 ? 0 : toI(A) % toI(B));
+      if (toI(B) == 0 || (toI(A) == INT64_MIN && toI(B) == -1))
+        R = 0;
+      else
+        R = fromI(toI(A) % toI(B));
       break;
     case Opcode::FAdd:
       R = fromF(toF(A) + toF(B));

@@ -1,0 +1,83 @@
+//===- support/ThreadPool.h - Fixed-size task pool --------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a single FIFO queue (no work stealing —
+/// our workloads are coarse-grained pipeline runs, so a shared queue is
+/// both simpler and fair). Tasks are submitted as callables and return
+/// std::futures; exceptions thrown by a task propagate through its future.
+/// The pool is reusable: wait() drains outstanding work and the pool then
+/// accepts new submissions. With one worker the pool executes tasks in
+/// strict submission order, which the tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_THREADPOOL_H
+#define KREMLIN_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace kremlin {
+
+/// Fixed pool of worker threads consuming a shared FIFO queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means hardware concurrency (at least
+  /// one).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains the queue, waits for running tasks, and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn; the returned future yields its result (or rethrows
+  /// its exception).
+  template <typename F>
+  auto submit(F &&Fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(Fn));
+    std::future<R> Result = Task->get_future();
+    enqueue([Task]() { (*Task)(); });
+    return Result;
+  }
+
+  /// Blocks until every queued and running task has finished. The pool
+  /// stays usable afterwards.
+  void wait();
+
+  /// Tasks waiting in the queue (racy; for tests and reporting).
+  size_t queuedTasks() const;
+
+private:
+  void enqueue(std::function<void()> Job);
+  void workerLoop();
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllIdle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  unsigned ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_THREADPOOL_H

@@ -1,0 +1,175 @@
+//===- tests/BenchHarnessTest.cpp - kremlin-bench harness tests -----------===//
+//
+// Covers the regression-baseline machinery end-to-end: run a (subset)
+// suite across the thread pool, round-trip the metrics through JSON, and
+// exercise the tolerance comparison — including a deliberately regressed
+// metric, which must fail the check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BenchHarness.h"
+
+#include "gtest/gtest.h"
+
+using namespace kremlin;
+
+namespace {
+
+/// One small suite run shared by the tests (ep and cg are the two fastest
+/// paper benchmarks).
+const BenchSuiteResult &sharedRun() {
+  static BenchSuiteResult Result = [] {
+    BenchSuiteOptions Opts;
+    Opts.Threads = 2;
+    Opts.Benchmarks = {"ep", "cg"};
+    return runBenchSuite(Opts);
+  }();
+  return Result;
+}
+
+TEST(BenchHarness, SuiteRunProducesMetrics) {
+  const BenchSuiteResult &R = sharedRun();
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.ThreadsUsed, 2u);
+  // Every benchmark contributes its full metric family.
+  for (const char *Bench : {"ep", "cg"}) {
+    for (const char *Key :
+         {"dyn_instructions", "dyn_regions", "compression_ratio",
+          "plan_size", "manual_plan_size", "plan_overlap", "est_speedup",
+          "max_self_parallelism", "sim_speedup", "wall_ms"}) {
+      std::string Name = std::string(Bench) + "." + Key;
+      EXPECT_TRUE(R.Metrics.count(Name)) << "missing " << Name;
+    }
+  }
+  EXPECT_EQ(R.Metrics.at("suite.benchmarks"), 2.0);
+  EXPECT_GT(R.Metrics.at("ep.dyn_instructions"), 0.0);
+  EXPECT_GE(R.Metrics.at("ep.max_self_parallelism"), 1.0);
+}
+
+TEST(BenchHarness, ParallelRunsMatchSerialRuns) {
+  BenchSuiteOptions Serial;
+  Serial.Threads = 1;
+  Serial.Benchmarks = {"ep", "cg"};
+  BenchSuiteResult SerialRun = runBenchSuite(Serial);
+  ASSERT_TRUE(SerialRun.succeeded());
+
+  for (const auto &M : sharedRun().Metrics) {
+    if (M.first.find("wall_ms") != std::string::npos ||
+        M.first == "suite.threads")
+      continue;
+    ASSERT_TRUE(SerialRun.Metrics.count(M.first)) << M.first;
+    EXPECT_DOUBLE_EQ(SerialRun.Metrics.at(M.first), M.second)
+        << M.first << " differs between 1-thread and 2-thread runs";
+  }
+}
+
+TEST(BenchHarness, UnknownBenchmarkReportsError) {
+  BenchSuiteOptions Opts;
+  Opts.Threads = 1;
+  Opts.Benchmarks = {"no-such-benchmark"};
+  BenchSuiteResult R = runBenchSuite(Opts);
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(BenchHarness, MetricsJsonRoundTrips) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Json = metricsToJson(R.Metrics);
+
+  MetricMap Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseMetricsJson(Json, Parsed, &Error)) << Error;
+  ASSERT_EQ(Parsed.size(), R.Metrics.size());
+  for (const auto &M : R.Metrics)
+    EXPECT_DOUBLE_EQ(Parsed.at(M.first), M.second) << M.first;
+}
+
+TEST(BenchHarness, ParseRejectsMalformedDocuments) {
+  MetricMap Out;
+  std::string Error;
+  EXPECT_FALSE(parseMetricsJson("{\"metrics\": [1,2]}", Out, &Error));
+  EXPECT_FALSE(parseMetricsJson("{}", Out, &Error));
+  EXPECT_FALSE(parseMetricsJson("not json", Out, &Error));
+  EXPECT_FALSE(
+      parseMetricsJson("{\"metrics\": {\"a\": \"str\"}}", Out, &Error));
+}
+
+TEST(BenchHarness, FreshBaselineComparesClean) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Baseline = makeBaselineJson(R.Metrics);
+  BaselineComparison Cmp = compareToBaseline(R.Metrics, Baseline);
+  EXPECT_TRUE(Cmp.passed()) << Cmp.render();
+  EXPECT_EQ(Cmp.NumFailed, 0u);
+  EXPECT_GT(Cmp.NumChecked, 0u);
+  // wall_ms metrics are informational, never gated.
+  EXPECT_GT(Cmp.NumSkipped, 0u);
+}
+
+TEST(BenchHarness, InjectedRegressionFailsTheCheck) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Baseline = makeBaselineJson(R.Metrics);
+
+  MetricMap Regressed = R.Metrics;
+  Regressed["cg.plan_size"] *= 2.0; // The deliberate 2x regression.
+  BaselineComparison Cmp = compareToBaseline(Regressed, Baseline);
+  EXPECT_FALSE(Cmp.passed());
+  EXPECT_EQ(Cmp.NumFailed, 1u);
+
+  bool Found = false;
+  for (const MetricDelta &D : Cmp.Deltas)
+    if (D.failed()) {
+      EXPECT_EQ(D.Name, "cg.plan_size");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+  EXPECT_NE(Cmp.render().find("cg.plan_size"), std::string::npos);
+  EXPECT_NE(Cmp.render().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchHarness, WallTimeRegressionIsInformationalOnly) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Baseline = makeBaselineJson(R.Metrics);
+  MetricMap Slow = R.Metrics;
+  for (auto &M : Slow)
+    if (M.first.find("wall_ms") != std::string::npos)
+      M.second *= 100.0; // Twelve-year-old laptop.
+  EXPECT_TRUE(compareToBaseline(Slow, Baseline).passed());
+}
+
+TEST(BenchHarness, MissingMetricFailsTheCheck) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Baseline = makeBaselineJson(R.Metrics);
+  MetricMap Partial = R.Metrics;
+  Partial.erase("ep.plan_size");
+  BaselineComparison Cmp = compareToBaseline(Partial, Baseline);
+  EXPECT_FALSE(Cmp.passed());
+}
+
+TEST(BenchHarness, ToleranceOverrideWidensTheGate) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Baseline = makeBaselineJson(R.Metrics);
+  MetricMap Nudged = R.Metrics;
+  Nudged["cg.est_speedup"] *= 1.10; // 10% off: fails at 2%, passes at 25%.
+  EXPECT_FALSE(compareToBaseline(Nudged, Baseline).passed());
+  EXPECT_TRUE(compareToBaseline(Nudged, Baseline, 0.25).passed());
+}
+
+TEST(BenchHarness, BaselineTolerancesObjectOverridesSuffixes) {
+  MetricMap Actual = {{"a.plan_size", 20.0}};
+  std::string Baseline = R"({
+    "schema": 1,
+    "default_tolerance": 0.02,
+    "tolerances": {"plan_size": 1.5},
+    "metrics": {"a.plan_size": 10}
+  })";
+  // 100% off but the suffix tolerance allows 150%.
+  EXPECT_TRUE(compareToBaseline(Actual, Baseline).passed());
+}
+
+TEST(BenchHarness, MalformedBaselineIsAnError) {
+  MetricMap Actual = {{"a.b", 1.0}};
+  BaselineComparison Cmp = compareToBaseline(Actual, "{broken");
+  EXPECT_FALSE(Cmp.passed());
+  EXPECT_FALSE(Cmp.Errors.empty());
+}
+
+} // namespace

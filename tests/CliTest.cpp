@@ -1,9 +1,12 @@
 //===- tests/CliTest.cpp - kremlin CLI smoke tests ------------------------===//
 //
-// Exercises the `kremlin` command-line tool end to end via std::system.
-// The binary path is injected by CMake as KREMLIN_TOOL_PATH.
+// Exercises the `kremlin` and `kremlin-bench` command-line tools end to
+// end via std::system. The binary paths are injected by CMake as
+// KREMLIN_TOOL_PATH / KREMLIN_BENCH_TOOL_PATH.
 //
 //===----------------------------------------------------------------------===//
+
+#include "driver/BenchHarness.h"
 
 #include "gtest/gtest.h"
 
@@ -13,18 +16,31 @@
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 namespace {
 
-std::string runTool(const std::string &Args, int &ExitCode) {
-  std::string OutPath = ::testing::TempDir() + "/kremlin_cli_out.txt";
-  std::string Cmd = std::string(KREMLIN_TOOL_PATH) + " " + Args + " > " +
-                    OutPath + " 2>&1";
+// ctest runs each Cli test as its own process, possibly concurrently;
+// key scratch files by pid so parallel tests don't stomp on each other.
+std::string scratchPath(const std::string &Name) {
+  return ::testing::TempDir() + "/kremlin_" + std::to_string(::getpid()) +
+         "_" + Name;
+}
+
+std::string runBinary(const std::string &Binary, const std::string &Args,
+                      int &ExitCode) {
+  std::string OutPath = scratchPath("cli_out.txt");
+  std::string Cmd = Binary + " " + Args + " > " + OutPath + " 2>&1";
   ExitCode = std::system(Cmd.c_str());
   std::ifstream In(OutPath);
   std::ostringstream SS;
   SS << In.rdbuf();
   std::remove(OutPath.c_str());
   return SS.str();
+}
+
+std::string runTool(const std::string &Args, int &ExitCode) {
+  return runBinary(KREMLIN_TOOL_PATH, Args, ExitCode);
 }
 
 TEST(Cli, TrackingPlan) {
@@ -45,7 +61,7 @@ TEST(Cli, BenchWithStats) {
 }
 
 TEST(Cli, SourceFileAndDumpIr) {
-  std::string SrcPath = ::testing::TempDir() + "/kremlin_cli_src.c";
+  std::string SrcPath = scratchPath("cli_src.c");
   {
     std::ofstream Src(SrcPath);
     Src << "int main() { int s = 0; for (int i = 0; i < 8; i = i + 1)"
@@ -65,7 +81,7 @@ TEST(Cli, SourceFileAndDumpIr) {
 }
 
 TEST(Cli, SaveTrace) {
-  std::string TracePath = ::testing::TempDir() + "/kremlin_cli_trace.txt";
+  std::string TracePath = scratchPath("cli_trace.txt");
   int Code = 0;
   std::string Out =
       runTool("--bench=is --save-trace=" + TracePath + " --rows=1", Code);
@@ -86,6 +102,50 @@ TEST(Cli, ErrorPathsExitNonZero) {
   EXPECT_NE(Code, 0);
   runTool("", Code); // No input.
   EXPECT_NE(Code, 0);
+}
+
+TEST(Cli, BenchHarnessEndToEnd) {
+  std::string ResultsPath = scratchPath("cli_results.json");
+  std::string BaselinePath = scratchPath("cli_baseline.json");
+  std::string Flags = " --threads=2 --benchmarks=ep,cg --no-simulate"
+                      " --out=" + ResultsPath + " --baseline=" + BaselinePath;
+
+  // Seed a baseline, then a check against it must pass — through both the
+  // dedicated kremlin-bench binary and the `kremlin bench` subcommand.
+  int Code = 0;
+  std::string Out =
+      runBinary(KREMLIN_BENCH_TOOL_PATH, "--update-baseline" + Flags, Code);
+  ASSERT_EQ(Code, 0) << Out;
+  Out = runTool("bench --check-baseline" + Flags, Code);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("baseline: PASS"), std::string::npos);
+
+  // The emitted results parse and carry per-benchmark metrics.
+  std::string Json;
+  ASSERT_TRUE(kremlin::readFileToString(ResultsPath, Json));
+  kremlin::MetricMap Metrics;
+  std::string Error;
+  ASSERT_TRUE(kremlin::parseMetricsJson(Json, Metrics, &Error)) << Error;
+  EXPECT_TRUE(Metrics.count("ep.dyn_instructions"));
+  EXPECT_TRUE(Metrics.count("cg.plan_size"));
+
+  // Regress one metric in the baseline: the check must fail.
+  std::string Baseline;
+  ASSERT_TRUE(kremlin::readFileToString(BaselinePath, Baseline));
+  kremlin::JsonValue Doc;
+  ASSERT_TRUE(kremlin::JsonValue::parse(Baseline, Doc));
+  kremlin::JsonValue MetricsObj = *Doc.get("metrics");
+  MetricsObj.set("cg.plan_size",
+                 kremlin::JsonValue(MetricsObj.getNumber("cg.plan_size") * 2));
+  Doc.set("metrics", std::move(MetricsObj));
+  ASSERT_TRUE(kremlin::writeStringToFile(BaselinePath, Doc.serialize()));
+  Out = runBinary(KREMLIN_BENCH_TOOL_PATH, "--check-baseline" + Flags, Code);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Out.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(Out.find("cg.plan_size"), std::string::npos);
+
+  std::remove(ResultsPath.c_str());
+  std::remove(BaselinePath.c_str());
 }
 
 TEST(Cli, ExclusionChangesPlan) {

@@ -1,5 +1,6 @@
 //===- tests/SupportTest.cpp - support library tests ----------------------===//
 
+#include "support/Json.h"
 #include "support/Prng.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -92,6 +93,83 @@ TEST(TablePrinter, SeparatorAndShortRows) {
   std::string Out = T.render();
   EXPECT_NE(Out.find("---"), std::string::npos);
   EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(Json, SerializeScalars) {
+  EXPECT_EQ(JsonValue().serialize(), "null");
+  EXPECT_EQ(JsonValue(true).serialize(), "true");
+  EXPECT_EQ(JsonValue(42).serialize(), "42");
+  EXPECT_EQ(JsonValue(2.5).serialize(), "2.5");
+  EXPECT_EQ(JsonValue("hi \"there\"\n").serialize(),
+            "\"hi \\\"there\\\"\\n\"");
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (double V : {0.0, -1.5, 1.0 / 3.0, 1e-17, 123456789.123456789,
+                   9007199254740991.0}) {
+    std::string S = formatJsonNumber(V);
+    JsonValue Parsed;
+    ASSERT_TRUE(JsonValue::parse(S, Parsed)) << S;
+    EXPECT_EQ(Parsed.asNumber(), V) << S;
+  }
+  // Integers stay integer-shaped.
+  EXPECT_EQ(formatJsonNumber(1739557.0), "1739557");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue Obj = JsonValue::makeObject();
+  Obj.set("zeta", JsonValue(1));
+  Obj.set("alpha", JsonValue(2));
+  Obj.set("zeta", JsonValue(3)); // Replacement keeps the original slot.
+  ASSERT_EQ(Obj.members().size(), 2u);
+  EXPECT_EQ(Obj.members()[0].first, "zeta");
+  EXPECT_EQ(Obj.getNumber("zeta"), 3.0);
+  EXPECT_EQ(Obj.getNumber("missing", -1.0), -1.0);
+}
+
+TEST(Json, ParseNestedDocument) {
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(JsonValue::parse(
+      R"({"a": [1, 2.5, {"b": "x\u0041"}], "c": null, "d": false})", V,
+      &Err))
+      << Err;
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *A = V.get("a");
+  ASSERT_TRUE(A && A->isArray());
+  EXPECT_EQ(A->size(), 3u);
+  EXPECT_EQ(A->at(1).asNumber(), 2.5);
+  EXPECT_EQ(A->at(2).get("b")->asString(), "xA");
+  EXPECT_TRUE(V.get("c")->isNull());
+  EXPECT_FALSE(V.get("d")->asBool(true));
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  JsonValue V;
+  std::string Err;
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "{\"a\": 1} x", "tru", "1.2.3",
+        "\"unterminated", "\"raw\x01control\""}) {
+    EXPECT_FALSE(JsonValue::parse(Bad, V, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(Json, SerializeParseRoundTrip) {
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("schema", JsonValue(1));
+  JsonValue Arr = JsonValue::makeArray();
+  Arr.push(JsonValue("a"));
+  Arr.push(JsonValue(3.25));
+  Arr.push(JsonValue());
+  Doc.set("list", std::move(Arr));
+  JsonValue Inner = JsonValue::makeObject();
+  Inner.set("k", JsonValue(true));
+  Doc.set("obj", std::move(Inner));
+
+  JsonValue Back;
+  ASSERT_TRUE(JsonValue::parse(Doc.serialize(), Back));
+  EXPECT_EQ(Back.serialize(), Doc.serialize());
 }
 
 } // namespace

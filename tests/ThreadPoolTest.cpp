@@ -1,0 +1,106 @@
+//===- tests/ThreadPoolTest.cpp - ThreadPool tests ------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace kremlin;
+
+namespace {
+
+TEST(ThreadPool, ReportsRequestedSize) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.size(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInSubmissionOrder) {
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 64; ++I)
+    Futures.push_back(Pool.submit([I, &Order]() { Order.push_back(I); }));
+  for (auto &F : Futures)
+    F.get();
+  std::vector<int> Expected(64);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPool, ReturnsTaskResults) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I < 100; ++I)
+    Futures.push_back(Pool.submit([I]() { return I * I; }));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Futures[static_cast<size_t>(I)].get(), I * I);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool Pool(2);
+  std::future<int> Bad = Pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  std::future<int> Good = Pool.submit([]() { return 7; });
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+  // A throwing task must not poison the pool.
+  EXPECT_EQ(Good.get(), 7);
+  EXPECT_EQ(Pool.submit([]() { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterWait) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&Count]() { Count.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Round + 1) * 50);
+    EXPECT_EQ(Pool.queuedTasks(), 0u);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I < 32; ++I)
+      Pool.submit([&Count]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        Count.fetch_add(1);
+      });
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(Count.load(), 32);
+}
+
+TEST(ThreadPool, ManyWorkersAllParticipate) {
+  ThreadPool Pool(8);
+  std::atomic<int> Running{0};
+  std::atomic<int> MaxRunning{0};
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 64; ++I)
+    Futures.push_back(Pool.submit([&Running, &MaxRunning]() {
+      int Now = Running.fetch_add(1) + 1;
+      int Prev = MaxRunning.load();
+      while (Prev < Now && !MaxRunning.compare_exchange_weak(Prev, Now))
+        ;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      Running.fetch_sub(1);
+    }));
+  for (auto &F : Futures)
+    F.get();
+  // With 8 workers and 2ms tasks, at least two must have overlapped.
+  EXPECT_GE(MaxRunning.load(), 2);
+}
+
+} // namespace
