@@ -23,21 +23,24 @@
 namespace kremlin::bench {
 
 /// ConsoleReporter that tees every successful run's adjusted real time
-/// (ns/iteration) into a BenchReporter as "<case>.real_ns".
+/// (ns/iteration) into a BenchReporter as "<figure>.<case>.real_ns" — the
+/// figure prefix keeps names unique when several micro benches land in
+/// one baseline document.
 class JsonCaptureReporter : public benchmark::ConsoleReporter {
 public:
-  explicit JsonCaptureReporter(BenchReporter &Reporter)
-      : Reporter(Reporter) {}
+  JsonCaptureReporter(std::string Figure, BenchReporter &Reporter)
+      : Figure(std::move(Figure)), Reporter(Reporter) {}
 
   void ReportRuns(const std::vector<Run> &Runs) override {
     for (const Run &R : Runs)
       if (!R.error_occurred)
-        Reporter.metric(R.benchmark_name() + ".real_ns",
+        Reporter.metric(Figure + "." + R.benchmark_name() + ".real_ns",
                         R.GetAdjustedRealTime());
     ConsoleReporter::ReportRuns(Runs);
   }
 
 private:
+  std::string Figure;
   BenchReporter &Reporter;
 };
 
@@ -48,7 +51,7 @@ inline int gbenchJsonMain(const std::string &Figure, int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
-  JsonCaptureReporter Console(Reporter);
+  JsonCaptureReporter Console(Figure, Reporter);
   benchmark::RunSpecifiedBenchmarks(&Console);
   return 0;
 }

@@ -1,0 +1,39 @@
+// quickstart.c - A tiny MiniC program for trying the kremlin pipeline.
+//
+// Two array passes: `scale` is a textbook DOALL (every iteration is
+// independent), while `fold` is a serial reduction chain. Profile it:
+//
+//   kremlin examples/minic/quickstart.c
+//   kremlin examples/minic/quickstart.c --trace-out=trace.json \
+//                                       --metrics-out=metrics.json
+//   kremlin stats examples/minic/quickstart.c
+//
+// The plan should recommend parallelizing the scale loop and leave the
+// fold loop alone; the trace shows one span per pipeline stage.
+
+int data[512];
+int scaled[512];
+
+void scale() {
+  for (int i = 0; i < 512; i = i + 1) {
+    int x = data[i] * 3;
+    x = x + x / 7;
+    scaled[i] = x + 1;
+  }
+}
+
+int fold() {
+  int acc = 0;
+  for (int i = 0; i < 512; i = i + 1) {
+    acc = acc + scaled[i] % 97;
+  }
+  return acc;
+}
+
+int main() {
+  for (int i = 0; i < 512; i = i + 1) {
+    data[i] = i * i % 251;
+  }
+  scale();
+  return fold();
+}

@@ -23,8 +23,10 @@ size_t DictionaryCompressor::SummaryHash::operator()(
 SummaryChar DictionaryCompressor::intern(DynRegionSummary Summary) {
   ++DynRegions;
   auto It = Index.find(Summary);
-  if (It != Index.end())
+  if (It != Index.end()) {
+    ++Hits;
     return It->second;
+  }
   SummaryChar C = static_cast<SummaryChar>(Alphabet.size());
   Index.emplace(Summary, C);
   Alphabet.push_back(std::move(Summary));

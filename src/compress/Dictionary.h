@@ -57,6 +57,10 @@ public:
   /// Total dynamic regions summarized (intern calls).
   uint64_t numDynamicRegions() const { return DynRegions; }
 
+  /// Intern calls that reused an existing alphabet character (the
+  /// compression win; misses == alphabet().size()).
+  uint64_t hits() const { return Hits; }
+
   /// Bytes a raw, uncompressed region-summary log would occupy.
   uint64_t rawTraceBytes() const { return DynRegions * RawRecordBytes; }
 
@@ -80,6 +84,7 @@ private:
   std::unordered_map<DynRegionSummary, SummaryChar, SummaryHash> Index;
   std::vector<std::pair<SummaryChar, uint64_t>> Roots;
   uint64_t DynRegions = 0;
+  uint64_t Hits = 0;
 };
 
 } // namespace kremlin

@@ -96,6 +96,11 @@ BenchTaskResult runOneBenchmark(const std::string &Name,
     Metric("manual_sim_speedup", ManualOutcome.speedup());
   }
 
+  // Per-stage wall clock from the driver: "<bench>.<stage>_wall_ms".
+  // Informational like wall_ms (the *_wall_ms suffix is never gated).
+  for (const auto &[StageName, Ms] : R.StageMs)
+    Out.Metrics[Name + "." + StageName + "_wall_ms"] = Ms;
+
   Metric("wall_ms", elapsedMs(Start));
   return Out;
 }
@@ -124,6 +129,18 @@ BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
     Result.Errors.insert(Result.Errors.end(), Task.Errors.begin(),
                          Task.Errors.end());
   }
+
+  // Whole-suite per-stage totals: where the pipeline spends its time
+  // across all benchmarks ("suite.stage.<stage>_wall_ms").
+  MetricMap StageTotals;
+  for (const auto &M : Result.Metrics) {
+    size_t Dot = M.first.rfind('.');
+    std::string Suffix =
+        Dot == std::string::npos ? "" : M.first.substr(Dot + 1);
+    if (Suffix.size() > 8 && Suffix.rfind("_wall_ms") == Suffix.size() - 8)
+      StageTotals["suite.stage." + Suffix] += M.second;
+  }
+  Result.Metrics.insert(StageTotals.begin(), StageTotals.end());
 
   Result.Metrics["suite.benchmarks"] = static_cast<double>(Names.size());
   Result.Metrics["suite.threads"] = Result.ThreadsUsed;
@@ -171,18 +188,35 @@ namespace {
 /// Baseline tolerance policy: relative slack per metric suffix. Negative
 /// means informational-only (never fails). Everything the pipeline
 /// computes is deterministic, so the default is tight; timing and
-/// machine-shape metrics are excluded from gating.
+/// machine-shape metrics are excluded from gating. Any suffix ending in
+/// "wall_ms" (per-stage timings) or "real_ns" (micro-bench nanoseconds
+/// merged into the baseline for trend tracking) is timing and therefore
+/// informational.
 struct TolerancePolicy {
   double Default = 0.02;
   std::map<std::string, double> BySuffix = {
-      {"wall_ms", -1.0}, {"threads", -1.0}, {"benchmarks", 0.0}};
+      {"wall_ms", -1.0}, {"real_ns", -1.0}, {"threads", -1.0},
+      {"benchmarks", 0.0}};
+
+  static bool isTimingSuffix(const std::string &Suffix) {
+    auto EndsWith = [&Suffix](std::string_view Tail) {
+      return Suffix.size() >= Tail.size() &&
+             Suffix.compare(Suffix.size() - Tail.size(), Tail.size(), Tail) ==
+                 0;
+    };
+    return EndsWith("wall_ms") || EndsWith("real_ns");
+  }
 
   double lookup(const std::string &Metric) const {
     size_t Dot = Metric.rfind('.');
     std::string Suffix =
         Dot == std::string::npos ? Metric : Metric.substr(Dot + 1);
     auto It = BySuffix.find(Suffix);
-    return It != BySuffix.end() ? It->second : Default;
+    if (It != BySuffix.end())
+      return It->second;
+    if (isTimingSuffix(Suffix))
+      return -1.0;
+    return Default;
   }
 };
 
@@ -257,6 +291,14 @@ BaselineComparison kremlin::compareToBaseline(const MetricMap &Actual,
     Cmp.Deltas.push_back(std::move(Delta));
   }
   return Cmp;
+}
+
+std::vector<std::string> BaselineComparison::failedMetricNames() const {
+  std::vector<std::string> Names;
+  for (const MetricDelta &D : Deltas)
+    if (D.failed())
+      Names.push_back(D.Name);
+  return Names;
 }
 
 std::string BaselineComparison::render() const {

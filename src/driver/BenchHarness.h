@@ -106,6 +106,9 @@ struct BaselineComparison {
 
   bool passed() const { return Errors.empty() && NumFailed == 0; }
 
+  /// Names of every gated metric that regressed, in baseline order.
+  std::vector<std::string> failedMetricNames() const;
+
   /// Renders a human-readable report (failed metrics first).
   std::string render() const;
 };

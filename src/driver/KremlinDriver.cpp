@@ -4,56 +4,193 @@
 
 #include "ir/Verifier.h"
 #include "parser/Lower.h"
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+#include <chrono>
 
 using namespace kremlin;
 
+namespace {
+
+/// Times one Figure-4 stage: a telemetry span for the trace plus a
+/// wall-clock entry in DriverResult::StageMs for per-run attribution.
+class StageScope {
+public:
+  StageScope(DriverResult &Result, const char *Name)
+      : Result(Result), Name(Name), Span(Name),
+        Start(std::chrono::steady_clock::now()) {}
+
+  ~StageScope() {
+    Result.StageMs.emplace_back(
+        Name, std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count());
+  }
+
+  telemetry::Span &span() { return Span; }
+
+private:
+  DriverResult &Result;
+  const char *Name;
+  telemetry::Span Span;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Flushes one profiled execution's runtime/shadow/compressor tallies into
+/// the process-wide registry, and — when tracing — emits counter samples
+/// so the numbers line up with the stage spans in the Chrome trace.
+void flushExecutionTelemetry(const KremlinRuntime &RT,
+                             const DictionaryCompressor &Dict) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::Counter &DynInsns = Reg.counter("rt.dyn_instructions");
+  static telemetry::Counter &DynRegions = Reg.counter("rt.dyn_region_entries");
+  static telemetry::Counter &Loads = Reg.counter("rt.loads");
+  static telemetry::Counter &Stores = Reg.counter("rt.stores");
+  static telemetry::Counter &Retags = Reg.counter("rt.level_retags");
+  static telemetry::Counter &SegAlloc =
+      Reg.counter("shadow.segments_allocated");
+  static telemetry::Counter &SegFreed =
+      Reg.counter("shadow.segments_released");
+  static telemetry::Counter &ShadowReads = Reg.counter("shadow.reads");
+  static telemetry::Counter &ShadowWrites = Reg.counter("shadow.writes");
+  static telemetry::Counter &DictInterns = Reg.counter("dict.interns");
+  static telemetry::Counter &DictHits = Reg.counter("dict.hits");
+
+  const RuntimeStats &Stats = RT.stats();
+  DynInsns.add(Stats.DynInstructions);
+  DynRegions.add(Stats.DynRegionEntries);
+  Loads.add(Stats.Loads);
+  Stores.add(Stats.Stores);
+  Retags.add(Stats.LevelRetags);
+
+  const ShadowMemory &Mem = RT.shadowMemory();
+  // releaseRange decrements the live-segment count; the lifetime total is
+  // live + released.
+  SegAlloc.add(Mem.allocatedSegments() + Mem.releasedSegments());
+  SegFreed.add(Mem.releasedSegments());
+  ShadowReads.add(Mem.timestampReads());
+  ShadowWrites.add(Mem.timestampWrites());
+  Reg.gauge("shadow.bytes").set(static_cast<double>(Mem.allocatedBytes()));
+
+  DictInterns.add(Dict.numDynamicRegions());
+  DictHits.add(Dict.hits());
+  Reg.gauge("dict.entries").set(static_cast<double>(Dict.alphabet().size()));
+  Reg.gauge("dict.compression_ratio").set(Dict.compressionRatio());
+
+  if (telemetry::traceEnabled()) {
+    telemetry::counterSample("shadow.bytes",
+                             static_cast<double>(Mem.allocatedBytes()));
+    telemetry::counterSample(
+        "shadow.segments", static_cast<double>(Mem.allocatedSegments()));
+    telemetry::counterSample("dict.entries",
+                             static_cast<double>(Dict.alphabet().size()));
+    telemetry::counterSample("dict.compression_ratio",
+                             Dict.compressionRatio());
+  }
+}
+
+} // namespace
+
 DriverResult KremlinDriver::runOnSource(std::string_view Source,
                                         std::string Name) {
-  LowerResult LR = compileMiniC(Source, std::move(Name));
-  if (!LR.succeeded()) {
-    DriverResult Result;
-    Result.Errors = std::move(LR.Errors);
-    Result.M = std::move(LR.M);
+  DriverResult Result;
+
+  ParseResult PR;
+  {
+    StageScope Stage(Result, "parse");
+    Stage.span().arg("source", Name);
+    PR = parseMiniC(Source, std::move(Name));
+  }
+  if (!PR.succeeded()) {
+    Result.Errors = std::move(PR.Errors);
+    Result.M = std::make_unique<Module>();
     return Result;
   }
-  return runOnModule(std::move(LR.M));
+
+  {
+    StageScope Stage(Result, "lower");
+    LowerResult LR = lowerProgram(PR.Program);
+    Result.M = std::move(LR.M);
+    if (!LR.succeeded()) {
+      Result.Errors = std::move(LR.Errors);
+      return Result;
+    }
+  }
+
+  runPipeline(Result);
+  return Result;
 }
 
 DriverResult KremlinDriver::runOnModule(std::unique_ptr<Module> M) {
   DriverResult Result;
   Result.M = std::move(M);
+  runPipeline(Result);
+  return Result;
+}
 
-  std::vector<std::string> Problems = verifyModule(*Result.M);
-  if (!Problems.empty()) {
-    for (std::string &P : Problems)
-      Result.Errors.push_back("verifier: " + std::move(P));
-    return Result;
+void KremlinDriver::runPipeline(DriverResult &Result) {
+  {
+    StageScope Stage(Result, "verify");
+    std::vector<std::string> Problems = verifyModule(*Result.M);
+    if (!Problems.empty()) {
+      for (std::string &P : Problems)
+        Result.Errors.push_back("verifier: " + std::move(P));
+      return;
+    }
   }
 
   // Static instrumentation (kremlin-cc).
-  Result.Instrument = instrumentModule(*Result.M);
+  {
+    StageScope Stage(Result, "instrument");
+    Result.Instrument = instrumentModule(*Result.M);
+  }
 
   // Profiled execution (the instrumented binary + KremLib).
   Result.Dict = std::make_unique<DictionaryCompressor>();
   KremlinRuntime RT(Opts.Runtime, *Result.Dict);
-  Interpreter Interp(*Result.M, Opts.Interp);
-  Result.Exec = Interp.run(&RT);
+  {
+    StageScope Stage(Result, "execute");
+    Interpreter Interp(*Result.M, Opts.Interp);
+    Result.Exec = Interp.run(&RT);
+    Stage.span().arg("dyn_instructions",
+                     std::to_string(Result.Exec.DynInstructions));
+  }
+  flushExecutionTelemetry(RT, *Result.Dict);
   if (!Result.Exec.Ok) {
     Result.Errors.push_back("execution failed: " + Result.Exec.Error);
-    return Result;
+    return;
   }
 
-  // Profile + plan.
-  Result.Profile =
-      std::make_unique<ParallelismProfile>(*Result.M, *Result.Dict);
-  std::unique_ptr<Personality> P = makePersonality(Opts.PersonalityName);
-  if (!P) {
-    Result.Errors.push_back("unknown personality '" + Opts.PersonalityName +
-                            "'");
-    return Result;
+  // Profile aggregation over the compressed trace (§4.4: analyses walk
+  // the alphabet, never the raw dynamic-region stream).
+  {
+    StageScope Stage(Result, "compress");
+    Stage.span().arg("alphabet",
+                     std::to_string(Result.Dict->alphabet().size()));
+    Result.Profile =
+        std::make_unique<ParallelismProfile>(*Result.M, *Result.Dict);
   }
-  Result.ThePlan = P->plan(*Result.Profile, Opts.Planner);
-  return Result;
+
+  {
+    StageScope Stage(Result, "plan");
+    Stage.span().arg("personality", Opts.PersonalityName);
+    std::unique_ptr<Personality> P = makePersonality(Opts.PersonalityName);
+    if (!P) {
+      Result.Errors.push_back("unknown personality '" + Opts.PersonalityName +
+                              "'");
+      return;
+    }
+    Result.ThePlan = P->plan(*Result.Profile, Opts.Planner);
+  }
+
+  double TotalMs = 0.0;
+  for (const auto &[Name, Ms] : Result.StageMs)
+    TotalMs += Ms;
+  telemetry::Registry::global()
+      .histogram("driver.pipeline_us")
+      .record(static_cast<uint64_t>(TotalMs * 1000.0));
 }
 
 Plan KremlinDriver::replan(const DriverResult &Result,

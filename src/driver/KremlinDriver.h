@@ -54,6 +54,13 @@ struct DriverResult {
   std::unique_ptr<ParallelismProfile> Profile;
   Plan ThePlan;
 
+  /// Wall-clock milliseconds per Figure-4 stage, in execution order
+  /// (parse, lower, verify, instrument, execute, compress, plan). Stages
+  /// not reached (errors) are absent. The same stages are recorded as
+  /// telemetry spans; this copy keeps per-run timings attributable when
+  /// many pipelines share the process (kremlin-bench).
+  std::vector<std::pair<std::string, double>> StageMs;
+
   bool succeeded() const { return Errors.empty(); }
 };
 
@@ -79,6 +86,11 @@ public:
               const std::string &PersonalityName = "") const;
 
 private:
+  /// Stages shared by runOnSource/runOnModule: verify -> instrument ->
+  /// execute -> compress -> plan, recording spans and stage timings into
+  /// \p Result (which already owns the module).
+  void runPipeline(DriverResult &Result);
+
   DriverOptions Opts;
 };
 

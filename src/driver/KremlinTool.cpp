@@ -11,12 +11,17 @@
 //   kremlin prog.c --dump-ir                       compile + instrument only
 //   kremlin prog.c --exclude=12,17                 exclusion-list replanning
 //   kremlin --bench=ft                             run a suite benchmark
+//   kremlin prog.c --trace-out=trace.json          Chrome trace of the run
+//   kremlin stats prog.c                           telemetry registry table
 //
 // plus the regression harness (also built as the `kremlin-bench` binary):
 //
 //   kremlin bench                                  parallel suite run + JSON
 //   kremlin bench --check-baseline                 fail on metric regression
 //   kremlin bench --update-baseline                refresh bench/baseline.json
+//
+// Diagnostics go through the telemetry logger (KREMLIN_LOG=error|warn|
+// info|debug); results and tables go to stdout untouched.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +33,7 @@
 #include "suite/PaperSuite.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,21 +43,30 @@
 #include <string>
 
 using namespace kremlin;
+namespace tel = kremlin::telemetry;
 
 namespace {
 
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: kremlin (<source.c> | --bench=<name> | --tracking) [options]\n"
+      "usage: kremlin [stats] (<source.c> | --bench=<name> | --tracking) "
+      "[options]\n"
       "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
       "  --min-sp=<f>                             self-parallelism cutoff\n"
       "  --rows=<n>                               plan rows to print\n"
       "  --profile                                dump per-region profile\n"
       "  --save-trace=<path>                      write the compressed trace\n"
+      "  --trace-out=<path>                       write a Chrome trace_event\n"
+      "                                           JSON of the pipeline run\n"
+      "  --metrics-out=<path>                     write the telemetry\n"
+      "                                           registry as metrics JSON\n"
       "  --dump-ir                                print instrumented IR\n"
-      "  --stats                                  runtime/compression stats\n");
+      "  --stats                                  runtime/compression stats\n"
+      "The `stats` subcommand runs the same pipeline and renders the\n"
+      "telemetry registry as a table instead of the plan.\n"
+      "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n");
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -77,7 +92,37 @@ void printBenchUsage() {
       "regression\n"
       "  --update-baseline        rewrite the baseline from this run\n"
       "  --tolerance=<f>          override the default relative tolerance\n"
+      "  --trace-out=<path>       write a Chrome trace of the suite run\n"
+      "  --metrics-out=<path>     write the telemetry registry as JSON\n"
       "  --no-simulate            skip machine-model plan evaluation\n");
+}
+
+/// Writes the pending trace and/or registry snapshot when the respective
+/// --trace-out/--metrics-out path is set. Returns false on I/O failure.
+bool writeTelemetryOutputs(const std::string &TraceOut,
+                           const std::string &MetricsOut) {
+  bool Ok = true;
+  if (!TraceOut.empty()) {
+    if (writeStringToFile(TraceOut, tel::takeTraceAsChromeJson())) {
+      std::printf("trace written to %s\n", TraceOut.c_str());
+    } else {
+      tel::logf(tel::LogLevel::Error, "cli", "cannot write trace to '%s'",
+                TraceOut.c_str());
+      Ok = false;
+    }
+  }
+  if (!MetricsOut.empty()) {
+    if (writeStringToFile(MetricsOut,
+                          tel::Registry::global().toJson().serialize() +
+                              "\n")) {
+      std::printf("metrics written to %s\n", MetricsOut.c_str());
+    } else {
+      tel::logf(tel::LogLevel::Error, "cli", "cannot write metrics to '%s'",
+                MetricsOut.c_str());
+      Ok = false;
+    }
+  }
+  return Ok;
 }
 
 /// The `kremlin-bench` harness entry point; \p Args excludes argv[0] and
@@ -86,6 +131,7 @@ int benchMain(const std::vector<std::string> &Args) {
   BenchSuiteOptions Opts;
   std::string OutPath = "BENCH_results.json";
   std::string BaselinePath = "bench/baseline.json";
+  std::string TraceOut, MetricsOut;
   bool CheckBaseline = false, UpdateBaseline = false;
   double Tolerance = -1.0;
 
@@ -106,6 +152,10 @@ int benchMain(const std::vector<std::string> &Args) {
       BaselinePath = Value();
     } else if (Arg.rfind("--tolerance=", 0) == 0) {
       Tolerance = std::strtod(Value().c_str(), nullptr);
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Value();
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Value();
     } else if (Arg == "--check-baseline") {
       CheckBaseline = true;
     } else if (Arg == "--update-baseline") {
@@ -116,16 +166,19 @@ int benchMain(const std::vector<std::string> &Args) {
       printBenchUsage();
       return 0;
     } else {
-      std::fprintf(stderr, "kremlin-bench: unknown option '%s'\n",
-                   Arg.c_str());
+      tel::logf(tel::LogLevel::Error, "bench", "unknown option '%s'",
+                Arg.c_str());
       printBenchUsage();
       return 1;
     }
   }
 
+  if (!TraceOut.empty())
+    tel::setTraceEnabled(true);
+
   BenchSuiteResult Result = runBenchSuite(Opts);
   for (const std::string &E : Result.Errors)
-    std::fprintf(stderr, "kremlin-bench: %s\n", E.c_str());
+    tel::logError("bench", E);
   if (!Result.succeeded())
     return 1;
 
@@ -154,16 +207,19 @@ int benchMain(const std::vector<std::string> &Args) {
               Result.Metrics["suite.wall_ms"]);
 
   if (!writeStringToFile(OutPath, metricsToJson(Result.Metrics))) {
-    std::fprintf(stderr, "kremlin-bench: cannot write '%s'\n",
-                 OutPath.c_str());
+    tel::logf(tel::LogLevel::Error, "bench", "cannot write '%s'",
+              OutPath.c_str());
     return 1;
   }
   std::printf("results written to %s\n", OutPath.c_str());
 
+  if (!writeTelemetryOutputs(TraceOut, MetricsOut))
+    return 1;
+
   if (UpdateBaseline) {
     if (!writeStringToFile(BaselinePath, makeBaselineJson(Result.Metrics))) {
-      std::fprintf(stderr, "kremlin-bench: cannot write '%s'\n",
-                   BaselinePath.c_str());
+      tel::logf(tel::LogLevel::Error, "bench", "cannot write '%s'",
+                BaselinePath.c_str());
       return 1;
     }
     std::printf("baseline written to %s\n", BaselinePath.c_str());
@@ -173,16 +229,27 @@ int benchMain(const std::vector<std::string> &Args) {
   if (CheckBaseline) {
     std::string BaselineJson;
     if (!readFileToString(BaselinePath, BaselineJson)) {
-      std::fprintf(stderr,
-                   "kremlin-bench: cannot read baseline '%s' "
-                   "(run with --update-baseline to create it)\n",
-                   BaselinePath.c_str());
+      tel::logf(tel::LogLevel::Error, "bench",
+                "cannot read baseline '%s' "
+                "(run with --update-baseline to create it)",
+                BaselinePath.c_str());
       return 1;
     }
     BaselineComparison Cmp =
         compareToBaseline(Result.Metrics, BaselineJson, Tolerance);
     std::fputs(Cmp.render().c_str(), stdout);
-    return Cmp.passed() ? 0 : 1;
+    if (!Cmp.passed()) {
+      // One grep-able line naming every regressed metric; the rendered
+      // report above carries baseline-vs-observed values per metric.
+      std::string List;
+      for (const std::string &Name : Cmp.failedMetricNames())
+        List += (List.empty() ? "" : ", ") + Name;
+      tel::logf(tel::LogLevel::Error, "bench",
+                "baseline gate failed: %u metric(s) regressed: %s",
+                Cmp.NumFailed, List.c_str());
+      return 1;
+    }
+    return 0;
   }
   return 0;
 }
@@ -196,14 +263,24 @@ int main(int argc, char **argv) {
   if (argc > 1 && std::strcmp(argv[1], "bench") == 0)
     return benchMain(std::vector<std::string>(argv + 2, argv + argc));
 
+  // `kremlin stats ...` runs the same pipeline but renders the telemetry
+  // registry instead of the plan.
+  bool StatsMode = false;
+  int ArgStart = 1;
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    StatsMode = true;
+    ArgStart = 2;
+  }
+
   std::string Source;
   std::string SourceName;
   DriverOptions Opts;
   bool DumpIR = false, DumpProfile = false, DumpStats = false;
   std::string SaveTracePath;
+  std::string TraceOut, MetricsOut;
   size_t Rows = 25;
 
-  for (int I = 1; I < argc; ++I) {
+  for (int I = ArgStart; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
     if (Arg.rfind("--bench=", 0) == 0) {
@@ -226,6 +303,10 @@ int main(int argc, char **argv) {
       Rows = std::strtoul(Value().c_str(), nullptr, 10);
     } else if (Arg.rfind("--save-trace=", 0) == 0) {
       SaveTracePath = Value();
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Value();
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Value();
     } else if (Arg == "--profile") {
       DumpProfile = true;
     } else if (Arg == "--dump-ir") {
@@ -237,25 +318,30 @@ int main(int argc, char **argv) {
       return 0;
     } else if (!Arg.empty() && Arg[0] != '-') {
       if (!readFile(Arg, Source)) {
-        std::fprintf(stderr, "kremlin: cannot read '%s'\n", Arg.c_str());
+        tel::logf(tel::LogLevel::Error, "cli", "cannot read '%s'",
+                  Arg.c_str());
         return 1;
       }
       SourceName = Arg;
     } else {
-      std::fprintf(stderr, "kremlin: unknown option '%s'\n", Arg.c_str());
+      tel::logf(tel::LogLevel::Error, "cli", "unknown option '%s'",
+                Arg.c_str());
       printUsage();
       return 1;
     }
   }
-  if (Source.empty()) {
+  if (Source.empty() && !StatsMode) {
     printUsage();
     return 1;
   }
 
+  if (!TraceOut.empty())
+    tel::setTraceEnabled(true);
+
   if (DumpIR) {
     LowerResult LR = compileMiniC(Source, SourceName);
     for (const std::string &E : LR.Errors)
-      std::fprintf(stderr, "%s\n", E.c_str());
+      tel::logError("frontend", E);
     if (!LR.succeeded())
       return 1;
     instrumentModule(*LR.M);
@@ -263,17 +349,24 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  if (StatsMode && Source.empty()) {
+    // Nothing ran: render the (empty) registry so scripts always get a
+    // table on stdout.
+    std::fputs(tel::Registry::global().renderTable().c_str(), stdout);
+    return 0;
+  }
+
   KremlinDriver Driver(Opts);
   DriverResult Result = Driver.runOnSource(Source, SourceName);
   for (const std::string &E : Result.Errors)
-    std::fprintf(stderr, "kremlin: %s\n", E.c_str());
+    tel::logError("cli", E);
   if (!Result.succeeded())
     return 1;
 
   if (!SaveTracePath.empty()) {
     if (!writeTraceFile(*Result.Dict, SaveTracePath)) {
-      std::fprintf(stderr, "kremlin: cannot write trace to '%s'\n",
-                   SaveTracePath.c_str());
+      tel::logf(tel::LogLevel::Error, "cli", "cannot write trace to '%s'",
+                SaveTracePath.c_str());
       return 1;
     }
     std::printf("trace written to %s\n", SaveTracePath.c_str());
@@ -292,6 +385,13 @@ int main(int argc, char **argv) {
                 formatBytes(Result.Dict->compressedBytes()).c_str(),
                 Result.Dict->compressionRatio());
   }
-  std::fputs(printPlan(*Result.M, Result.ThePlan, Rows).c_str(), stdout);
+
+  if (StatsMode)
+    std::fputs(tel::Registry::global().renderTable().c_str(), stdout);
+  else
+    std::fputs(printPlan(*Result.M, Result.ThePlan, Rows).c_str(), stdout);
+
+  if (!writeTelemetryOutputs(TraceOut, MetricsOut))
+    return 1;
   return 0;
 }

@@ -3,11 +3,34 @@
 #include "planner/Personality.h"
 
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cmath>
 
 using namespace kremlin;
+
+namespace {
+
+/// Records one planner eligibility decision: accepted/rejected counters in
+/// the registry, plus — when a trace sink is configured — an instant event
+/// carrying the region id and the reason, so a trace shows *why* each
+/// region made or missed the plan.
+void planDecision(RegionId R, bool Accepted, const char *Reason) {
+  static telemetry::Counter &AcceptedC =
+      telemetry::Registry::global().counter("planner.accepted");
+  static telemetry::Counter &RejectedC =
+      telemetry::Registry::global().counter("planner.rejected");
+  (Accepted ? AcceptedC : RejectedC).add();
+  if (telemetry::traceEnabled())
+    telemetry::instantEvent(
+        formatString("plan.%s r%u", Accepted ? "accept" : "reject",
+                     static_cast<unsigned>(R)),
+        "planner",
+        {{"region", std::to_string(R)}, {"reason", Reason}});
+}
+
+} // namespace
 
 PlanItem kremlin::makePlanItem(const ParallelismProfile &Profile,
                                RegionId R) {
@@ -32,6 +55,9 @@ static Plan finishPlan(std::string Name, std::vector<PlanItem> Items) {
                 return A.GainFrac > B.GainFrac;
               return A.Region < B.Region;
             });
+  static telemetry::Counter &Selected =
+      telemetry::Registry::global().counter("planner.selected");
+  Selected.add(Items.size());
   double TotalGain = 0.0;
   for (const PlanItem &I : Items)
     TotalGain += I.GainFrac;
@@ -91,27 +117,41 @@ public:
     PlanningTree Tree(Profile);
     const Module &M = Profile.module();
 
-    // Eligibility filter: the system model.
+    // Eligibility filter: the system model. Every verdict is reported as
+    // a planner decision event (counter + optional trace instant).
     auto Eligible = [&](RegionId R) {
-      if (Opts.Excluded.count(R))
+      if (Opts.Excluded.count(R)) {
+        planDecision(R, false, "excluded");
         return false;
+      }
       const StaticRegion &SR = M.Regions[R];
       // OpenMP parallelizes loops; function bodies are exploited through
       // the loops inside them.
-      if (SR.Kind != RegionKind::Loop)
+      if (SR.Kind != RegionKind::Loop) {
+        planDecision(R, false, "not-a-loop");
         return false;
+      }
       const RegionProfileEntry &E = Profile.entry(R);
-      if (E.SelfParallelism < Opts.MinSelfParallelism)
+      if (E.SelfParallelism < Opts.MinSelfParallelism) {
+        planDecision(R, false, "self-parallelism-below-threshold");
         return false;
+      }
       // Reduction loops must amortize OpenMP's reduction overhead.
-      if (SR.HasReduction && E.avgWork() < Opts.MinReductionWork)
+      if (SR.HasReduction && E.avgWork() < Opts.MinReductionWork) {
+        planDecision(R, false, "reduction-overhead-unamortized");
         return false;
+      }
       PlanItem Item = makePlanItem(Profile, R);
       double SpeedupPct = (Item.EstSpeedup - 1.0) * 100.0;
       double MinPct = E.Class == LoopClass::Doacross
                           ? Opts.MinDoacrossSpeedupPct
                           : Opts.MinDoallSpeedupPct;
-      return SpeedupPct >= MinPct;
+      if (SpeedupPct < MinPct) {
+        planDecision(R, false, "speedup-below-threshold");
+        return false;
+      }
+      planDecision(R, true, "eligible");
+      return true;
     };
 
     if (Opts.Greedy)
@@ -173,14 +213,23 @@ public:
 
     std::vector<PlanItem> Items;
     for (RegionId R : Tree.preorder()) {
-      if (R == Tree.root() || Opts.Excluded.count(R))
+      if (R == Tree.root())
         continue;
+      if (Opts.Excluded.count(R)) {
+        planDecision(R, false, "excluded");
+        continue;
+      }
       const RegionProfileEntry &E = Profile.entry(R);
-      if (E.SelfParallelism < MinSP)
+      if (E.SelfParallelism < MinSP) {
+        planDecision(R, false, "self-parallelism-below-threshold");
         continue;
+      }
       PlanItem Item = makePlanItem(Profile, R);
-      if ((Item.EstSpeedup - 1.0) * 100.0 < MinPct)
+      if ((Item.EstSpeedup - 1.0) * 100.0 < MinPct) {
+        planDecision(R, false, "speedup-below-threshold");
         continue;
+      }
+      planDecision(R, true, "eligible");
       // Nested selections overlap, so the naive Amdahl sum would double
       // count; keep the gain attribution but flag nesting by discounting
       // descendants of an already-selected ancestor.

@@ -21,6 +21,7 @@ void KremlinRuntime::enterRegion(RegionId R) {
     // Retag the slot: every shadow cell written by older same-depth regions
     // now reads as time 0.
     CurInstance[Level - Cfg.MinLevel] = Instance;
+    ++Stats.LevelRetags;
   }
   ActiveRegion A;
   A.Static = R;

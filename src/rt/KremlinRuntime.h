@@ -61,6 +61,9 @@ struct RuntimeStats {
   uint64_t DynRegionEntries = 0;
   uint64_t Loads = 0;
   uint64_t Stores = 0;
+  /// Level-slot retags on region entry (a new instance taking over a
+  /// shadow level slot — the paper's slot-reuse mechanism in action).
+  uint64_t LevelRetags = 0;
 };
 
 /// The HCPA runtime. One instance profiles one program execution.
@@ -126,6 +129,8 @@ public:
   const RuntimeStats &stats() const { return Stats; }
   const KremlinConfig &config() const { return Cfg; }
   uint64_t shadowBytes() const { return Memory.allocatedBytes(); }
+  /// Read access to the shadow memory (telemetry flush, tests).
+  const ShadowMemory &shadowMemory() const { return Memory; }
 
   /// Work accumulated by the innermost active region so far (testing aid).
   uint64_t currentWork() const {

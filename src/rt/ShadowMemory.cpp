@@ -14,6 +14,7 @@ void ShadowMemory::releaseRange(uint64_t Addr, uint64_t Words) {
     if (Directory[Seg]) {
       Directory[Seg].reset();
       --AllocatedSegments;
+      ++ReleasedSegments;
     }
   }
 }

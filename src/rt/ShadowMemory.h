@@ -47,6 +47,7 @@ public:
   /// Reads the time for \p Addr at level slot \p Slot, tag-checked against
   /// \p Tag: a missing segment or stale tag reads as 0.
   Time read(uint64_t Addr, unsigned Slot, uint64_t Tag) const {
+    ++Reads;
     uint64_t Seg = Addr / SegmentWords;
     if (Seg >= Directory.size() || !Directory[Seg])
       return 0;
@@ -58,6 +59,7 @@ public:
   /// Writes time \p T for \p Addr at level slot \p Slot with tag \p Tag,
   /// allocating the segment on first touch.
   void write(uint64_t Addr, unsigned Slot, uint64_t Tag, Time T) {
+    ++Writes;
     uint64_t Seg = Addr / SegmentWords;
     if (Seg >= Directory.size())
       Directory.resize(Seg + 1);
@@ -81,6 +83,14 @@ public:
   uint64_t segmentWords() const { return SegmentWords; }
   uint64_t allocatedSegments() const { return AllocatedSegments; }
 
+  /// Lifetime tallies for self-telemetry (timestamp read/write volume and
+  /// free()-driven reclamation). Plain members — one ShadowMemory is only
+  /// ever touched by one thread — flushed into the process-wide telemetry
+  /// registry by the driver after a profiled execution.
+  uint64_t timestampReads() const { return Reads; }
+  uint64_t timestampWrites() const { return Writes; }
+  uint64_t releasedSegments() const { return ReleasedSegments; }
+
   /// Shadow bytes currently allocated (for overhead reporting).
   uint64_t allocatedBytes() const {
     return AllocatedSegments * SegmentWords * NumLevels * sizeof(ShadowCell);
@@ -91,6 +101,9 @@ private:
   uint64_t SegmentWords;
   std::vector<std::unique_ptr<ShadowCell[]>> Directory;
   uint64_t AllocatedSegments = 0;
+  mutable uint64_t Reads = 0; ///< read() is logically const; the tally isn't.
+  uint64_t Writes = 0;
+  uint64_t ReleasedSegments = 0;
 };
 
 } // namespace kremlin

@@ -2,12 +2,15 @@
 
 #include "support/ErrorHandling.h"
 
-#include <cstdio>
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
 #include <cstdlib>
 
 void kremlin::reportFatalError(std::string_view Msg, const char *File,
                                unsigned Line) {
-  std::fprintf(stderr, "kremlin fatal error: %.*s (at %s:%u)\n",
-               static_cast<int>(Msg.size()), Msg.data(), File, Line);
+  telemetry::logError(
+      "fatal", formatString("%.*s (at %s:%u)", static_cast<int>(Msg.size()),
+                            Msg.data(), File, Line));
   std::abort();
 }

@@ -1,0 +1,279 @@
+//===- support/Telemetry.h - Self-telemetry for the pipeline ----*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide self-telemetry ("profile the profiler"): a thread-safe
+/// metrics registry (counters, gauges, log2-bucket histograms), RAII Span
+/// scopes recording into a lock-sharded in-memory trace buffer exportable
+/// as Chrome trace_event JSON (chrome://tracing / Perfetto), and a small
+/// leveled structured logger (level via the KREMLIN_LOG env var).
+///
+/// Cost model: spans and instant events stay compiled-in everywhere
+/// because the disabled path — no trace sink configured — is one relaxed
+/// atomic increment per event (the event counter) with no clock read and
+/// no allocation. Counters and gauges are always live; they are single
+/// relaxed atomic operations. Histograms add a few relaxed increments.
+/// bench_micro_telemetry measures all of these paths.
+///
+/// Hot-path idiom: resolve the metric once, then update through the
+/// reference (registration takes a mutex, updates never do):
+///
+///   static telemetry::Counter &Reads =
+///       telemetry::Registry::global().counter("shadow.reads");
+///   Reads.add(N);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_TELEMETRY_H
+#define KREMLIN_SUPPORT_TELEMETRY_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kremlin::telemetry {
+
+// --- Metrics ----------------------------------------------------------------
+
+/// Monotonic counter. All operations are relaxed atomics.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) {
+    V.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins double value (stored as its bit pattern).
+class Gauge {
+public:
+  void set(double Value) {
+    Bits.store(std::bit_cast<uint64_t>(Value), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(Bits.load(std::memory_order_relaxed));
+  }
+  void reset() { Bits.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Bits{0}; // 0 is the bit pattern of 0.0.
+};
+
+/// Histogram over uint64 samples with fixed log2-scale buckets: bucket i
+/// counts samples whose bit width is i, i.e. bucket 0 holds the value 0
+/// and bucket i >= 1 holds [2^(i-1), 2^i). Concurrent record() calls are
+/// lossless (every update is a relaxed atomic RMW).
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  void record(uint64_t Value) {
+    Buckets[bucketFor(Value)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    atomicMin(Min, Value);
+    atomicMax(Max, Value);
+  }
+
+  static unsigned bucketFor(uint64_t Value) {
+    return static_cast<unsigned>(std::bit_width(Value));
+  }
+  /// Inclusive upper bound of \p Bucket (its largest representable value).
+  static uint64_t bucketUpperBound(unsigned Bucket) {
+    return Bucket == 0 ? 0 : (Bucket >= 64 ? UINT64_MAX : (1ull << Bucket) - 1);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Smallest recorded sample; 0 when empty.
+  uint64_t min() const {
+    uint64_t V = Min.load(std::memory_order_relaxed);
+    return V == UINT64_MAX ? 0 : V;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucket(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing the \p P-quantile (P in [0,1]).
+  /// A bucket-resolution estimate: exact within a factor of 2.
+  uint64_t quantile(double P) const;
+
+  void reset();
+
+private:
+  static void atomicMin(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+};
+
+/// The process-wide metric registry. Metrics are created on first use and
+/// never deleted, so references stay valid for the process lifetime;
+/// creation takes a mutex, updates are lock-free through the returned
+/// reference. resetValues() zeroes everything in place (tests, and the
+/// CLI between replans) without invalidating references.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Flat snapshot: every metric as (name, value) in name order.
+  /// Histograms expand to <name>.count/.sum/.min/.max/.p50/.p99.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Serializes the snapshot as the same {"metrics": {...}} document shape
+  /// kremlin-bench emits, so parseMetricsJson reads it back.
+  JsonValue toJson() const;
+
+  /// Renders the snapshot as an aligned two-column table.
+  std::string renderTable() const;
+
+  /// Zeroes every registered metric; references remain valid.
+  void resetValues();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+// --- Trace buffer and spans -------------------------------------------------
+
+/// One recorded trace event (Chrome trace_event phases X / i / C).
+struct TraceEvent {
+  enum class Kind : unsigned char { Span, Instant, CounterSample };
+  Kind K = Kind::Span;
+  std::string Name;
+  std::string Category;
+  uint64_t TimeUs = 0; ///< Microseconds since process start.
+  uint64_t DurUs = 0;  ///< Span only.
+  uint32_t Tid = 0;    ///< Compacted thread id (first-seen order).
+  double Value = 0.0;  ///< CounterSample only.
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Whether a trace sink is configured. When false every span/instant/
+/// counter-sample call degrades to one relaxed counter increment.
+bool traceEnabled();
+void setTraceEnabled(bool Enabled);
+
+/// Microseconds since process start (monotonic).
+uint64_t nowUs();
+
+/// Records an instant event (Chrome phase "i") when tracing is enabled.
+void instantEvent(std::string Name, std::string Category,
+                  std::vector<std::pair<std::string, std::string>> Args = {});
+
+/// Records a counter sample (Chrome phase "C") when tracing is enabled.
+void counterSample(std::string Name, double Value);
+
+/// Drains every shard of the trace buffer, sorted by timestamp.
+std::vector<TraceEvent> takeTrace();
+
+/// Serializes events as a Chrome trace_event document:
+///   {"traceEvents": [...], "displayTimeUnit": "ms"}
+std::string traceToChromeJson(const std::vector<TraceEvent> &Events);
+
+/// takeTrace() + traceToChromeJson().
+std::string takeTraceAsChromeJson();
+
+/// RAII scope recording one complete event (Chrome phase "X") into the
+/// trace buffer. When tracing is disabled the constructor is a single
+/// relaxed atomic increment and the destructor a branch.
+class Span {
+public:
+  explicit Span(std::string_view Name, std::string_view Category = "pipeline");
+  ~Span() { end(); }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a key/value argument (dropped when not recording).
+  void arg(std::string_view Key, std::string Value);
+
+  /// Ends the span early (idempotent; the destructor is then a no-op).
+  void end();
+
+private:
+  std::string Name;
+  std::string Category;
+  std::vector<std::pair<std::string, std::string>> Args;
+  uint64_t StartUs = 0;
+  bool Recording = false;
+};
+
+// --- Structured leveled logger ----------------------------------------------
+
+enum class LogLevel : unsigned char { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+const char *logLevelName(LogLevel L);
+
+/// Current threshold. First use reads KREMLIN_LOG (error|warn|info|debug,
+/// or a digit 0-3); the default is warn.
+LogLevel logLevel();
+/// Programmatic override (tests, tools).
+void setLogLevel(LogLevel L);
+
+inline bool logEnabled(LogLevel L) { return L <= logLevel(); }
+
+/// Emits one structured line to stderr when \p L passes the threshold:
+///   kremlin[<level>] <component>: <message>
+/// Suppressed messages cost a level check plus one relaxed increment of
+/// the log.suppressed counter.
+void logMessage(LogLevel L, const char *Component, std::string_view Msg);
+
+/// printf-style logMessage; formats only when the level is enabled.
+void logf(LogLevel L, const char *Component, const char *Fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+inline void logError(const char *Component, std::string_view Msg) {
+  logMessage(LogLevel::Error, Component, Msg);
+}
+inline void logWarn(const char *Component, std::string_view Msg) {
+  logMessage(LogLevel::Warn, Component, Msg);
+}
+inline void logInfo(const char *Component, std::string_view Msg) {
+  logMessage(LogLevel::Info, Component, Msg);
+}
+inline void logDebug(const char *Component, std::string_view Msg) {
+  logMessage(LogLevel::Debug, Component, Msg);
+}
+
+} // namespace kremlin::telemetry
+
+#endif // KREMLIN_SUPPORT_TELEMETRY_H

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -146,6 +147,66 @@ TEST(Cli, BenchHarnessEndToEnd) {
 
   std::remove(ResultsPath.c_str());
   std::remove(BaselinePath.c_str());
+}
+
+TEST(Cli, StatsSubcommand) {
+  int Code = 0;
+  std::string Out = runTool("stats --bench=ep --rows=1", Code);
+  EXPECT_EQ(Code, 0) << Out;
+  // The registry table replaces the plan and carries the pipeline tallies.
+  EXPECT_NE(Out.find("rt.dyn_instructions"), std::string::npos);
+  EXPECT_NE(Out.find("shadow.reads"), std::string::npos);
+  EXPECT_NE(Out.find("dict.hits"), std::string::npos);
+  EXPECT_EQ(Out.find("Parallelism plan"), std::string::npos);
+}
+
+TEST(Cli, TraceAndMetricsOut) {
+  std::string TracePath = scratchPath("cli_chrome_trace.json");
+  std::string MetricsPath = scratchPath("cli_metrics.json");
+  int Code = 0;
+  std::string Out = runTool("--bench=ep --rows=1 --trace-out=" + TracePath +
+                                " --metrics-out=" + MetricsPath,
+                            Code);
+  ASSERT_EQ(Code, 0) << Out;
+
+  // The Chrome trace parses and has one complete ("X") span per pipeline
+  // stage plus counter samples from the shadow memory and compressor.
+  std::string TraceJson;
+  ASSERT_TRUE(kremlin::readFileToString(TracePath, TraceJson));
+  kremlin::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(kremlin::JsonValue::parse(TraceJson, Doc, &Error)) << Error;
+  const kremlin::JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  std::set<std::string> SpanNames;
+  bool SawCounterSample = false;
+  for (size_t I = 0; I < Events->size(); ++I) {
+    const kremlin::JsonValue &E = Events->at(I);
+    const kremlin::JsonValue *Ph = E.get("ph");
+    ASSERT_NE(Ph, nullptr);
+    if (Ph->asString() == "X")
+      SpanNames.insert(E.get("name")->asString());
+    else if (Ph->asString() == "C")
+      SawCounterSample = true;
+  }
+  for (const char *Stage :
+       {"parse", "lower", "instrument", "execute", "compress", "plan"})
+    EXPECT_TRUE(SpanNames.count(Stage)) << "missing stage span: " << Stage;
+  EXPECT_TRUE(SawCounterSample);
+
+  // The metrics document parses through the shared metrics reader.
+  std::string MetricsJson;
+  ASSERT_TRUE(kremlin::readFileToString(MetricsPath, MetricsJson));
+  kremlin::MetricMap Metrics;
+  ASSERT_TRUE(kremlin::parseMetricsJson(MetricsJson, Metrics, &Error))
+      << Error;
+  EXPECT_TRUE(Metrics.count("rt.dyn_instructions"));
+  EXPECT_TRUE(Metrics.count("shadow.writes"));
+  EXPECT_GT(Metrics["rt.dyn_instructions"], 0.0);
+
+  std::remove(TracePath.c_str());
+  std::remove(MetricsPath.c_str());
 }
 
 TEST(Cli, ExclusionChangesPlan) {

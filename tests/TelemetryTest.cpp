@@ -1,0 +1,308 @@
+//===- tests/TelemetryTest.cpp - Self-telemetry layer tests ---------------===//
+//
+// Covers the telemetry contracts the pipeline instrumentation leans on:
+// lossless concurrent counter/histogram updates (via ThreadPool workers),
+// Chrome trace_event and metrics JSON that round-trip through the
+// support/Json parser, span/instant/counter-sample recording semantics,
+// and the leveled logger's filtering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "driver/BenchHarness.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+using namespace kremlin;
+namespace tel = kremlin::telemetry;
+
+namespace {
+
+/// The registry and trace buffer are process-wide; start every test from a
+/// clean slate so order does not matter.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    tel::setTraceEnabled(false);
+    tel::takeTrace();
+    tel::Registry::global().resetValues();
+  }
+  void TearDown() override {
+    tel::setTraceEnabled(false);
+    tel::takeTrace();
+  }
+};
+
+TEST_F(TelemetryTest, CounterBasics) {
+  tel::Counter &C = tel::Registry::global().counter("test.counter");
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&tel::Registry::global().counter("test.counter"), &C);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeStoresDoubles) {
+  tel::Gauge &G = tel::Registry::global().gauge("test.gauge");
+  G.set(3.25);
+  EXPECT_DOUBLE_EQ(G.value(), 3.25);
+  G.set(-0.5);
+  EXPECT_DOUBLE_EQ(G.value(), -0.5);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndStats) {
+  tel::Histogram &H = tel::Registry::global().histogram("test.hist");
+  H.record(0);
+  H.record(1);
+  H.record(2);
+  H.record(3);
+  H.record(1000);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1006u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_EQ(H.bucket(0), 1u); // 0
+  EXPECT_EQ(H.bucket(1), 1u); // 1
+  EXPECT_EQ(H.bucket(2), 2u); // 2, 3
+  EXPECT_EQ(H.bucket(10), 1u); // 1000 in [512, 1024)
+  // Median falls in the [2,4) bucket; its inclusive upper bound is 3.
+  EXPECT_EQ(H.quantile(0.5), 3u);
+  EXPECT_EQ(H.quantile(1.0), 1023u);
+}
+
+TEST_F(TelemetryTest, ConcurrentCounterUpdatesAreLossless) {
+  tel::Counter &C = tel::Registry::global().counter("test.concurrent");
+  constexpr unsigned Workers = 8;
+  constexpr uint64_t PerWorker = 20000;
+  ThreadPool Pool(Workers);
+  std::vector<std::future<void>> Futures;
+  for (unsigned W = 0; W < Workers; ++W)
+    Futures.push_back(Pool.submit([&C]() {
+      for (uint64_t I = 0; I < PerWorker; ++I)
+        C.add();
+    }));
+  for (auto &F : Futures)
+    F.get();
+  EXPECT_EQ(C.value(), Workers * PerWorker);
+}
+
+TEST_F(TelemetryTest, ConcurrentHistogramUpdatesAreLossless) {
+  tel::Histogram &H = tel::Registry::global().histogram("test.conc_hist");
+  constexpr unsigned Workers = 8;
+  constexpr uint64_t PerWorker = 20000;
+  ThreadPool Pool(Workers);
+  std::vector<std::future<void>> Futures;
+  for (unsigned W = 0; W < Workers; ++W)
+    Futures.push_back(Pool.submit([&H, W]() {
+      for (uint64_t I = 0; I < PerWorker; ++I)
+        H.record(W * PerWorker + I);
+    }));
+  for (auto &F : Futures)
+    F.get();
+  EXPECT_EQ(H.count(), Workers * PerWorker);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), Workers * PerWorker - 1);
+  uint64_t BucketTotal = 0;
+  for (unsigned I = 0; I < tel::Histogram::NumBuckets; ++I)
+    BucketTotal += H.bucket(I);
+  EXPECT_EQ(BucketTotal, Workers * PerWorker);
+}
+
+TEST_F(TelemetryTest, SnapshotExpandsHistograms) {
+  tel::Registry &Reg = tel::Registry::global();
+  Reg.counter("snap.counter").add(7);
+  Reg.gauge("snap.gauge").set(1.5);
+  Reg.histogram("snap.hist").record(100);
+  auto Snap = Reg.snapshot();
+  auto Find = [&Snap](const std::string &Name) -> const double * {
+    for (const auto &[N, V] : Snap)
+      if (N == Name)
+        return &V;
+    return nullptr;
+  };
+  ASSERT_NE(Find("snap.counter"), nullptr);
+  EXPECT_DOUBLE_EQ(*Find("snap.counter"), 7.0);
+  ASSERT_NE(Find("snap.gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(*Find("snap.gauge"), 1.5);
+  ASSERT_NE(Find("snap.hist.count"), nullptr);
+  EXPECT_DOUBLE_EQ(*Find("snap.hist.count"), 1.0);
+  ASSERT_NE(Find("snap.hist.max"), nullptr);
+  EXPECT_DOUBLE_EQ(*Find("snap.hist.max"), 100.0);
+  ASSERT_NE(Find("snap.hist.p99"), nullptr);
+}
+
+TEST_F(TelemetryTest, MetricsJsonRoundTripsThroughBenchParser) {
+  tel::Registry &Reg = tel::Registry::global();
+  Reg.counter("rt.test_metric").add(123);
+  Reg.gauge("dict.test_ratio").set(45.5);
+  std::string Json = Reg.toJson().serialize();
+
+  // The document parses as JSON at all...
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+  EXPECT_TRUE(Doc.isObject());
+  // ...and through the bench metrics reader, sharing the results schema.
+  MetricMap Metrics;
+  ASSERT_TRUE(parseMetricsJson(Json, Metrics, &Error)) << Error;
+  EXPECT_DOUBLE_EQ(Metrics["rt.test_metric"], 123.0);
+  EXPECT_DOUBLE_EQ(Metrics["dict.test_ratio"], 45.5);
+}
+
+TEST_F(TelemetryTest, RenderTableListsMetrics) {
+  tel::Registry &Reg = tel::Registry::global();
+  Reg.counter("table.hits").add(9);
+  std::string Table = Reg.renderTable();
+  EXPECT_NE(Table.find("table.hits"), std::string::npos);
+  EXPECT_NE(Table.find("9"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, DisabledTracingRecordsNothing) {
+  ASSERT_FALSE(tel::traceEnabled());
+  {
+    tel::Span S("quiet");
+    S.arg("key", "value");
+  }
+  tel::instantEvent("quiet.instant", "test");
+  tel::counterSample("quiet.counter", 1.0);
+  EXPECT_TRUE(tel::takeTrace().empty());
+}
+
+TEST_F(TelemetryTest, SpansInstantsAndSamplesRecordWhenEnabled) {
+  tel::setTraceEnabled(true);
+  {
+    tel::Span S("outer");
+    S.arg("detail", "abc");
+    tel::instantEvent("ping", "test", {{"n", "1"}});
+    tel::counterSample("gauge", 2.5);
+  }
+  tel::setTraceEnabled(false);
+  std::vector<tel::TraceEvent> Events = tel::takeTrace();
+  ASSERT_EQ(Events.size(), 3u);
+
+  const tel::TraceEvent *SpanEv = nullptr, *InstEv = nullptr,
+                        *SampleEv = nullptr;
+  for (const tel::TraceEvent &E : Events) {
+    if (E.K == tel::TraceEvent::Kind::Span)
+      SpanEv = &E;
+    else if (E.K == tel::TraceEvent::Kind::Instant)
+      InstEv = &E;
+    else
+      SampleEv = &E;
+  }
+  ASSERT_NE(SpanEv, nullptr);
+  EXPECT_EQ(SpanEv->Name, "outer");
+  EXPECT_EQ(SpanEv->Category, "pipeline");
+  ASSERT_EQ(SpanEv->Args.size(), 1u);
+  EXPECT_EQ(SpanEv->Args[0].first, "detail");
+  ASSERT_NE(InstEv, nullptr);
+  EXPECT_EQ(InstEv->Name, "ping");
+  ASSERT_NE(SampleEv, nullptr);
+  EXPECT_DOUBLE_EQ(SampleEv->Value, 2.5);
+  // The buffer was drained.
+  EXPECT_TRUE(tel::takeTrace().empty());
+}
+
+TEST_F(TelemetryTest, ChromeTraceJsonParsesAndHasExpectedPhases) {
+  tel::setTraceEnabled(true);
+  {
+    tel::Span S("stage", "pipeline");
+    tel::instantEvent("marker", "planner");
+  }
+  tel::counterSample("metric", 7.0);
+  tel::setTraceEnabled(false);
+  std::string Json = tel::takeTraceAsChromeJson();
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+  const JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_EQ(Events->size(), 3u);
+
+  bool SawX = false, SawI = false, SawC = false;
+  for (size_t I = 0; I < Events->size(); ++I) {
+    const JsonValue &E = Events->at(I);
+    const JsonValue *Ph = E.get("ph");
+    ASSERT_NE(Ph, nullptr);
+    ASSERT_NE(E.get("ts"), nullptr);
+    ASSERT_NE(E.get("pid"), nullptr);
+    ASSERT_NE(E.get("tid"), nullptr);
+    if (Ph->asString() == "X") {
+      SawX = true;
+      EXPECT_NE(E.get("dur"), nullptr);
+      EXPECT_EQ(E.get("name")->asString(), "stage");
+    } else if (Ph->asString() == "i") {
+      SawI = true;
+    } else if (Ph->asString() == "C") {
+      SawC = true;
+      const JsonValue *Args = E.get("args");
+      ASSERT_NE(Args, nullptr);
+      EXPECT_DOUBLE_EQ(Args->getNumber("value"), 7.0);
+    }
+  }
+  EXPECT_TRUE(SawX);
+  EXPECT_TRUE(SawI);
+  EXPECT_TRUE(SawC);
+}
+
+TEST_F(TelemetryTest, SpanEndIsIdempotent) {
+  tel::setTraceEnabled(true);
+  {
+    tel::Span S("once");
+    S.end();
+    S.end(); // Second end (and the destructor) must not re-record.
+  }
+  tel::setTraceEnabled(false);
+  EXPECT_EQ(tel::takeTrace().size(), 1u);
+}
+
+TEST_F(TelemetryTest, DisabledSpanBumpsEventCounter) {
+  tel::Counter &Events = tel::Registry::global().counter("telemetry.events");
+  uint64_t Before = Events.value();
+  { tel::Span S("cheap"); }
+  tel::instantEvent("cheap.instant", "test");
+  EXPECT_EQ(Events.value(), Before + 2);
+}
+
+TEST_F(TelemetryTest, LoggerFiltersByLevel) {
+  tel::LogLevel Saved = tel::logLevel();
+  tel::Registry &Reg = tel::Registry::global();
+  tel::Counter &Suppressed = Reg.counter("log.suppressed");
+  tel::Counter &Warnings = Reg.counter("log.warnings");
+
+  tel::setLogLevel(tel::LogLevel::Error);
+  EXPECT_TRUE(tel::logEnabled(tel::LogLevel::Error));
+  EXPECT_FALSE(tel::logEnabled(tel::LogLevel::Warn));
+  uint64_t SuppressedBefore = Suppressed.value();
+  tel::logWarn("test", "filtered out");
+  EXPECT_EQ(Suppressed.value(), SuppressedBefore + 1);
+
+  tel::setLogLevel(tel::LogLevel::Debug);
+  uint64_t WarnBefore = Warnings.value();
+  tel::logWarn("test", "emitted");
+  tel::logf(tel::LogLevel::Warn, "test", "emitted too: %d", 7);
+  EXPECT_EQ(Warnings.value(), WarnBefore + 2);
+
+  tel::setLogLevel(Saved);
+}
+
+TEST_F(TelemetryTest, LogLevelNamesRoundTrip) {
+  EXPECT_STREQ(tel::logLevelName(tel::LogLevel::Error), "error");
+  EXPECT_STREQ(tel::logLevelName(tel::LogLevel::Warn), "warn");
+  EXPECT_STREQ(tel::logLevelName(tel::LogLevel::Info), "info");
+  EXPECT_STREQ(tel::logLevelName(tel::LogLevel::Debug), "debug");
+}
+
+} // namespace
