@@ -2,6 +2,7 @@
 
 #include "compress/TraceIO.h"
 
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -32,96 +33,97 @@ std::string kremlin::writeTrace(const DictionaryCompressor &Dict) {
   return Out;
 }
 
-TraceReadResult kremlin::readTrace(const std::string &Text) {
-  TraceReadResult Result;
+Expected<DictionaryCompressor> kremlin::readTrace(const std::string &Text) {
+  auto Malformed = [](std::string Msg) {
+    return Status::error(ErrorCode::DecodeError, std::move(Msg))
+        .withStage("trace-decode");
+  };
+  if (fault::enabled() && fault::shouldFail(fault::Site::TraceCorrupt))
+    return Status::error(ErrorCode::FaultInjected,
+                         "trace decode failed (KREMLIN_FAULT=" +
+                             fault::activeSpec() + ")")
+        .withStage("trace-decode");
+
+  DictionaryCompressor Dict;
   std::istringstream In(Text);
   std::string Keyword;
   unsigned Version = 0;
   if (!(In >> Keyword >> Version) || Keyword != "kremlin-trace" ||
-      Version != 1) {
-    Result.Error = "not a kremlin-trace v1 file";
-    return Result;
-  }
+      Version != 1)
+    return Malformed("not a kremlin-trace v1 file");
   size_t NumEntries = 0;
-  if (!(In >> Keyword >> NumEntries) || Keyword != "regions") {
-    Result.Error = "missing regions header";
-    return Result;
-  }
+  if (!(In >> Keyword >> NumEntries) || Keyword != "regions")
+    return Malformed("missing regions header");
   uint64_t SeenDynRegions = 0;
   for (size_t E = 0; E < NumEntries; ++E) {
     DynRegionSummary S;
     size_t NumChildren = 0;
     if (!(In >> Keyword >> S.Static >> S.Work >> S.Cp >> NumChildren) ||
-        Keyword != "entry") {
-      Result.Error = formatString("malformed entry %zu", E);
-      return Result;
-    }
+        Keyword != "entry")
+      return Malformed(formatString(
+          "malformed entry %zu (truncated trace?)", E));
     for (size_t C = 0; C < NumChildren; ++C) {
       SummaryChar Child = 0;
       uint64_t Freq = 0;
-      if (!(In >> Child >> Freq)) {
-        Result.Error = formatString("malformed children of entry %zu", E);
-        return Result;
-      }
-      if (Child >= E) {
+      if (!(In >> Child >> Freq))
+        return Malformed(formatString("malformed children of entry %zu", E));
+      if (Child >= E)
         // Alphabet grows leaves-first: a child must precede its parent.
-        Result.Error = formatString(
-            "entry %zu references later/self character %u", E, Child);
-        return Result;
-      }
+        return Malformed(formatString(
+            "entry %zu references later/self character %u "
+            "(dictionary index out of range)",
+            E, Child));
       S.Children.emplace_back(Child, Freq);
     }
-    SummaryChar Interned = Result.Dict.intern(std::move(S));
+    SummaryChar Interned = Dict.intern(std::move(S));
     ++SeenDynRegions;
-    if (Interned != E) {
-      Result.Error = formatString("duplicate alphabet entry %zu", E);
-      return Result;
-    }
+    if (Interned != E)
+      return Malformed(formatString("duplicate alphabet entry %zu", E));
   }
   // Roots and the dynamic-region count.
   while (In >> Keyword) {
     if (Keyword == "root") {
       SummaryChar Root = 0;
       uint64_t Count = 0;
-      if (!(In >> Root >> Count) || Root >= Result.Dict.alphabet().size()) {
-        Result.Error = "malformed root line";
-        return Result;
-      }
+      if (!(In >> Root >> Count) || Root >= Dict.alphabet().size())
+        return Malformed(
+            "malformed root line (dictionary index out of range)");
       for (uint64_t I = 0; I < Count; ++I)
-        Result.Dict.onRootExit(Root);
+        Dict.onRootExit(Root);
     } else if (Keyword == "dynregions") {
       uint64_t Total = 0;
-      if (!(In >> Total) || Total < SeenDynRegions) {
-        Result.Error = "malformed dynregions line";
-        return Result;
-      }
-      Result.Dict.setDynamicRegions(Total);
+      if (!(In >> Total) || Total < SeenDynRegions)
+        return Malformed("malformed dynregions line");
+      Dict.setDynamicRegions(Total);
     } else {
-      Result.Error = "unknown keyword '" + Keyword + "'";
-      return Result;
+      return Malformed("unknown keyword '" + Keyword + "'");
     }
   }
-  Result.Ok = true;
-  return Result;
+  return Dict;
 }
 
-bool kremlin::writeTraceFile(const DictionaryCompressor &Dict,
-                             const std::string &Path) {
+Status kremlin::writeTraceFile(const DictionaryCompressor &Dict,
+                               const std::string &Path) {
   std::ofstream Out(Path);
   if (!Out)
-    return false;
+    return Status::error(ErrorCode::IoError, "cannot open for writing")
+        .withInput(Path);
   Out << writeTrace(Dict);
-  return static_cast<bool>(Out);
+  if (!Out)
+    return Status::error(ErrorCode::IoError, "write failed").withInput(Path);
+  return Status::success();
 }
 
-TraceReadResult kremlin::readTraceFile(const std::string &Path) {
+Expected<DictionaryCompressor> kremlin::readTraceFile(const std::string &Path) {
   std::ifstream In(Path);
-  if (!In) {
-    TraceReadResult Result;
-    Result.Error = "cannot open '" + Path + "'";
-    return Result;
-  }
+  if (!In)
+    return Status::error(ErrorCode::IoError, "cannot open")
+        .withStage("trace-decode")
+        .withInput(Path);
   std::ostringstream SS;
   SS << In.rdbuf();
-  return readTrace(SS.str());
+  Expected<DictionaryCompressor> Result = readTrace(SS.str());
+  if (!Result.ok())
+    return Status(Result.status()).withInput(Path);
+  return Result;
 }

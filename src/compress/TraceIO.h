@@ -25,6 +25,7 @@
 #define KREMLIN_COMPRESS_TRACEIO_H
 
 #include "compress/Dictionary.h"
+#include "support/Status.h"
 
 #include <string>
 
@@ -33,23 +34,17 @@ namespace kremlin {
 /// Serializes \p Dict to the text trace format.
 std::string writeTrace(const DictionaryCompressor &Dict);
 
-/// Result of parsing a trace.
-struct TraceReadResult {
-  bool Ok = false;
-  std::string Error;
-  DictionaryCompressor Dict;
-};
-
 /// Parses a trace produced by writeTrace(). Validates structure (children
 /// must reference earlier characters — the leaves-first alphabet property).
-TraceReadResult readTrace(const std::string &Text);
+/// Errors carry DecodeError with the offending line's detail.
+Expected<DictionaryCompressor> readTrace(const std::string &Text);
 
-/// Convenience: writeTrace() to a file. Returns false on I/O failure.
-bool writeTraceFile(const DictionaryCompressor &Dict,
-                    const std::string &Path);
+/// Convenience: writeTrace() to a file. IoError on failure.
+Status writeTraceFile(const DictionaryCompressor &Dict,
+                      const std::string &Path);
 
-/// Convenience: readTrace() from a file.
-TraceReadResult readTraceFile(const std::string &Path);
+/// Convenience: readTrace() from a file; errors name the input path.
+Expected<DictionaryCompressor> readTraceFile(const std::string &Path);
 
 } // namespace kremlin
 

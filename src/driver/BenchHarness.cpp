@@ -5,13 +5,16 @@
 #include "driver/KremlinDriver.h"
 #include "machine/ExecutionSimulator.h"
 #include "suite/PaperSuite.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
+#include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 using namespace kremlin;
 
@@ -19,7 +22,18 @@ namespace {
 
 struct BenchTaskResult {
   MetricMap Metrics;
+  BenchmarkOutcome Outcome;
   std::vector<std::string> Errors;
+
+  /// Marks this benchmark failed: metrics are dropped (partial numbers
+  /// must not flow into results or baseline gating) and the error is
+  /// recorded both per-outcome and as a suite error line.
+  void fail(const std::string &Name, std::string Error) {
+    Metrics.clear();
+    Outcome.Status = "failed";
+    Outcome.Error = Error;
+    Errors.push_back(Name + ": " + std::move(Error));
+  }
 };
 
 double elapsedMs(std::chrono::steady_clock::time_point Start) {
@@ -35,24 +49,25 @@ double elapsedMs(std::chrono::steady_clock::time_point Start) {
 BenchTaskResult runOneBenchmark(const std::string &Name,
                                 const BenchSuiteOptions &Opts) {
   BenchTaskResult Out;
+  Out.Outcome.Name = Name;
   auto Start = std::chrono::steady_clock::now();
 
-  // paperBenchmarkSpec aborts on unknown names; turn a bad --benchmarks=
-  // entry into a reportable error instead.
-  const std::vector<std::string> &Known = paperBenchmarkNames();
-  if (std::find(Known.begin(), Known.end(), Name) == Known.end()) {
-    Out.Errors.push_back(Name + ": unknown paper benchmark");
+  Expected<GeneratedBenchmark> GB = tryGeneratePaperBenchmark(Name);
+  if (!GB.ok()) {
+    Out.fail(Name, GB.status().toString());
     return Out;
   }
 
-  GeneratedBenchmark GB = generatePaperBenchmark(Name);
   DriverOptions DriverOpts;
   DriverOpts.PersonalityName = Opts.PersonalityName;
   KremlinDriver Driver(std::move(DriverOpts));
-  DriverResult R = Driver.runOnSource(GB.Source, Name + ".c");
+  DriverResult R = Driver.runOnSource(GB->Source, Name + ".c");
   if (!R.succeeded()) {
-    for (const std::string &E : R.Errors)
-      Out.Errors.push_back(Name + ": " + E);
+    // The structured status names the failed stage and input; extra parse
+    // diagnostics ride along as suite error lines.
+    Out.fail(Name, R.Err.ok() ? R.Errors.front() : R.Err.toString());
+    for (size_t E = 1; E < R.Errors.size(); ++E)
+      Out.Errors.push_back(Name + ": " + R.Errors[E]);
     return Out;
   }
 
@@ -68,7 +83,7 @@ BenchTaskResult runOneBenchmark(const std::string &Name,
   Metric("dict_alphabet", static_cast<double>(R.Dict->alphabet().size()));
 
   std::vector<RegionId> Manual =
-      loopRegionsAtLines(*R.M, GB.manualLines());
+      loopRegionsAtLines(*R.M, GB->manualLines());
   std::set<RegionId> ManualSet(Manual.begin(), Manual.end());
   std::set<RegionId> Kremlin;
   for (const PlanItem &I : R.ThePlan.Items)
@@ -105,7 +120,62 @@ BenchTaskResult runOneBenchmark(const std::string &Name,
   return Out;
 }
 
+/// The harness worker boundary. Everything a benchmark can do wrong stops
+/// here: C++ exceptions are caught and recorded (a throwing worker must
+/// not surface through the ThreadPool future as a top-level crash killing
+/// the sibling benchmarks), and a post-hoc wall-clock deadline overrun
+/// earns one retry before the benchmark is marked failed.
+BenchTaskResult runGuardedBenchmark(const std::string &Name,
+                                    const BenchSuiteOptions &Opts) {
+  for (unsigned Attempt = 1;; ++Attempt) {
+    BenchTaskResult Out;
+    auto Start = std::chrono::steady_clock::now();
+    try {
+      if (fault::enabled() && fault::shouldFail(fault::Site::BenchThrow))
+        throw std::runtime_error("injected bench worker exception "
+                                 "(KREMLIN_FAULT=" +
+                                 fault::activeSpec() + ")");
+      Out = runOneBenchmark(Name, Opts);
+    } catch (const std::exception &E) {
+      Out.Outcome.Name = Name;
+      Out.fail(Name, Status::error(ErrorCode::ExecutionError, E.what())
+                         .withInput(Name)
+                         .toString());
+    } catch (...) {
+      Out.Outcome.Name = Name;
+      Out.fail(Name, Status::error(ErrorCode::ExecutionError,
+                                   "non-standard exception from bench worker")
+                         .withInput(Name)
+                         .toString());
+    }
+    Out.Outcome.Attempts = Attempt;
+    double Ms = elapsedMs(Start);
+    if (Opts.DeadlineMs <= 0.0 || Ms <= Opts.DeadlineMs ||
+        Out.Outcome.failed())
+      return Out;
+    if (Attempt >= 2) {
+      Out.fail(Name,
+               Status::error(
+                   ErrorCode::DeadlineExceeded,
+                   formatString("wall-clock deadline (%.0f ms) exceeded "
+                                "(%.0f ms on attempt %u)",
+                                Opts.DeadlineMs, Ms, Attempt))
+                   .withInput(Name)
+                   .toString());
+      return Out;
+    }
+  }
+}
+
 } // namespace
+
+std::vector<std::string> BenchSuiteResult::failedBenchmarks() const {
+  std::vector<std::string> Names;
+  for (const BenchmarkOutcome &O : Outcomes)
+    if (O.failed())
+      Names.push_back(O.Name);
+  return Names;
+}
 
 BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
   BenchSuiteResult Result;
@@ -120,12 +190,21 @@ BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
   std::vector<std::future<BenchTaskResult>> Futures;
   Futures.reserve(Names.size());
   for (const std::string &Name : Names)
-    Futures.push_back(
-        Pool.submit([Name, &Opts]() { return runOneBenchmark(Name, Opts); }));
+    Futures.push_back(Pool.submit(
+        [Name, &Opts]() { return runGuardedBenchmark(Name, Opts); }));
 
-  for (std::future<BenchTaskResult> &F : Futures) {
-    BenchTaskResult Task = F.get();
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    BenchTaskResult Task;
+    try {
+      Task = Futures[I].get();
+    } catch (const std::exception &E) {
+      // Belt and braces: runGuardedBenchmark already catches, but nothing
+      // propagated through the future may take down the suite.
+      Task.Outcome.Name = Names[I];
+      Task.fail(Names[I], E.what());
+    }
     Result.Metrics.insert(Task.Metrics.begin(), Task.Metrics.end());
+    Result.Outcomes.push_back(std::move(Task.Outcome));
     Result.Errors.insert(Result.Errors.end(), Task.Errors.begin(),
                          Task.Errors.end());
   }
@@ -143,9 +222,32 @@ BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
   Result.Metrics.insert(StageTotals.begin(), StageTotals.end());
 
   Result.Metrics["suite.benchmarks"] = static_cast<double>(Names.size());
+  Result.Metrics["suite.failed"] =
+      static_cast<double>(Result.failedBenchmarks().size());
   Result.Metrics["suite.threads"] = Result.ThreadsUsed;
   Result.Metrics["suite.wall_ms"] = elapsedMs(Start);
   return Result;
+}
+
+std::string kremlin::suiteResultToJson(const BenchSuiteResult &Result) {
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("schema", JsonValue(1));
+  Doc.set("kind", JsonValue("kremlin-bench"));
+  JsonValue Map = JsonValue::makeObject();
+  for (const auto &M : Result.Metrics)
+    Map.set(M.first, JsonValue(M.second));
+  Doc.set("metrics", std::move(Map));
+  JsonValue Benchmarks = JsonValue::makeObject();
+  for (const BenchmarkOutcome &O : Result.Outcomes) {
+    JsonValue Entry = JsonValue::makeObject();
+    Entry.set("status", JsonValue(O.Status));
+    Entry.set("attempts", JsonValue(static_cast<double>(O.Attempts)));
+    if (O.failed())
+      Entry.set("error", JsonValue(O.Error));
+    Benchmarks.set(O.Name, std::move(Entry));
+  }
+  Doc.set("benchmarks", std::move(Benchmarks));
+  return Doc.serialize() + "\n";
 }
 
 std::string kremlin::metricsToJson(const MetricMap &Metrics,
@@ -196,7 +298,9 @@ struct TolerancePolicy {
   double Default = 0.02;
   std::map<std::string, double> BySuffix = {
       {"wall_ms", -1.0}, {"real_ns", -1.0}, {"threads", -1.0},
-      {"benchmarks", 0.0}};
+      // Failure count is surfaced through per-benchmark statuses and the
+      // harness exit code, not baseline drift.
+      {"failed", -1.0},  {"benchmarks", 0.0}};
 
   static bool isTimingSuffix(const std::string &Suffix) {
     auto EndsWith = [&Suffix](std::string_view Tail) {
@@ -239,9 +343,11 @@ std::string kremlin::makeBaselineJson(const MetricMap &Metrics) {
   return Doc.serialize() + "\n";
 }
 
-BaselineComparison kremlin::compareToBaseline(const MetricMap &Actual,
-                                              std::string_view BaselineJson,
-                                              double ToleranceOverride) {
+BaselineComparison
+kremlin::compareToBaseline(const MetricMap &Actual,
+                           std::string_view BaselineJson,
+                           double ToleranceOverride,
+                           const std::vector<std::string> &ExcludeBenchmarks) {
   BaselineComparison Cmp;
 
   JsonValue Doc;
@@ -272,6 +378,17 @@ BaselineComparison kremlin::compareToBaseline(const MetricMap &Actual,
     Delta.Tolerance = Policy.lookup(E.first);
     Delta.Skipped = Delta.Tolerance < 0.0;
 
+    // A failed benchmark contributes no metrics; gating its baseline
+    // entries would double-report the failure as spurious regressions.
+    if (!Delta.Skipped && !ExcludeBenchmarks.empty()) {
+      std::string Prefix = E.first.substr(0, E.first.find('.'));
+      for (const std::string &Excluded : ExcludeBenchmarks)
+        if (Prefix == Excluded) {
+          Delta.Skipped = true;
+          break;
+        }
+    }
+
     auto It = Actual.find(E.first);
     if (It == Actual.end()) {
       Delta.Missing = true;
@@ -291,6 +408,67 @@ BaselineComparison kremlin::compareToBaseline(const MetricMap &Actual,
     Cmp.Deltas.push_back(std::move(Delta));
   }
   return Cmp;
+}
+
+std::string kremlin::renderMetricsDiff(const MetricMap &A, const MetricMap &B) {
+  struct DiffRow {
+    std::string Name;
+    const double *Old = nullptr;
+    const double *New = nullptr;
+    double Rel = 0.0; ///< |relative delta|; HUGE_VAL for added/removed.
+  };
+  std::vector<DiffRow> Rows;
+  for (const auto &M : A) {
+    DiffRow Row;
+    Row.Name = M.first;
+    Row.Old = &M.second;
+    auto It = B.find(M.first);
+    if (It != B.end()) {
+      Row.New = &It->second;
+      Row.Rel = std::fabs(It->second - M.second) /
+                std::max(std::fabs(M.second), 1e-12);
+    } else {
+      Row.Rel = HUGE_VAL;
+    }
+    Rows.push_back(std::move(Row));
+  }
+  for (const auto &M : B)
+    if (!A.count(M.first)) {
+      DiffRow Row;
+      Row.Name = M.first;
+      Row.New = &M.second;
+      Row.Rel = HUGE_VAL;
+      Rows.push_back(std::move(Row));
+    }
+
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const DiffRow &X, const DiffRow &Y) {
+                     return X.Rel > Y.Rel;
+                   });
+
+  TablePrinter Table;
+  Table.setHeader({"metric", "a", "b", "delta"});
+  unsigned Changed = 0;
+  for (const DiffRow &Row : Rows) {
+    std::string OldS = Row.Old ? formatJsonNumber(*Row.Old) : "-";
+    std::string NewS = Row.New ? formatJsonNumber(*Row.New) : "-";
+    std::string DeltaS;
+    if (!Row.Old)
+      DeltaS = "added";
+    else if (!Row.New)
+      DeltaS = "removed";
+    else if (Row.Rel == 0.0)
+      continue; // Unchanged rows would drown the signal.
+    else
+      DeltaS = formatString("%+.2f%%", (*Row.New - *Row.Old) * 100.0 /
+                                           std::max(std::fabs(*Row.Old),
+                                                    1e-12));
+    ++Changed;
+    Table.addRow({Row.Name, OldS, NewS, DeltaS});
+  }
+  std::string Out = Table.render();
+  Out += formatString("%u of %zu metrics differ\n", Changed, Rows.size());
+  return Out;
 }
 
 std::vector<std::string> BaselineComparison::failedMetricNames() const {

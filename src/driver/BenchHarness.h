@@ -45,16 +45,41 @@ struct BenchSuiteOptions {
   std::vector<std::string> Benchmarks;
   /// Also evaluate the Kremlin and MANUAL plans on the machine model.
   bool Simulate = true;
+  /// Per-benchmark wall-clock deadline in ms (0 = off). The check is
+  /// post-hoc (runs are in-process and cannot be preempted): a run that
+  /// finishes over the deadline gets one retry; a second overrun records
+  /// the benchmark as failed with DeadlineExceeded.
+  double DeadlineMs = 0.0;
 };
 
-/// Everything one suite run produces.
+/// Per-benchmark completion record; serialized under "benchmarks" in
+/// BENCH_results.json.
+struct BenchmarkOutcome {
+  std::string Name;
+  /// "ok" or "failed".
+  std::string Status = "ok";
+  /// The error line when failed ("" otherwise).
+  std::string Error;
+  /// 1 normally; 2 after a deadline-triggered retry.
+  unsigned Attempts = 1;
+
+  bool failed() const { return Status != "ok"; }
+};
+
+/// Everything one suite run produces. A failed benchmark never aborts the
+/// suite: its outcome is recorded, its metrics are absent, and the
+/// remaining benchmarks complete normally.
 struct BenchSuiteResult {
   MetricMap Metrics;
+  /// One entry per requested benchmark, in request order.
+  std::vector<BenchmarkOutcome> Outcomes;
   unsigned ThreadsUsed = 1;
   /// Pipeline failures ("<bench>: <error>"); empty on success.
   std::vector<std::string> Errors;
 
   bool succeeded() const { return Errors.empty(); }
+  /// Names of benchmarks that failed (baseline-gating exclusion list).
+  std::vector<std::string> failedBenchmarks() const;
 };
 
 /// Runs the suite across a thread pool. Per-benchmark metrics are
@@ -66,6 +91,13 @@ BenchSuiteResult runBenchSuite(const BenchSuiteOptions &Opts);
 ///   {"schema": 1, "kind": <Kind>, "metrics": {...}}
 std::string metricsToJson(const MetricMap &Metrics,
                           const std::string &Kind = "kremlin-bench");
+
+/// Serializes a full suite result: the metricsToJson document plus a
+/// "benchmarks" object recording each benchmark's completion status:
+///   "benchmarks": {"cg": {"status": "ok", "attempts": 1}, ...}
+/// (failed entries additionally carry "error"). parseMetricsJson reads the
+/// document unchanged — the extra object is ignored by metric consumers.
+std::string suiteResultToJson(const BenchSuiteResult &Result);
 
 /// Parses the "metrics" object out of a results or baseline document.
 /// Returns false and fills \p Error on malformed input.
@@ -118,9 +150,19 @@ struct BaselineComparison {
 /// (the part after the last '.'); \p ToleranceOverride, when >= 0,
 /// replaces the default tolerance for metrics without a suffix entry.
 /// Metrics with a negative tolerance are reported but never fail.
-BaselineComparison compareToBaseline(const MetricMap &Actual,
-                                     std::string_view BaselineJson,
-                                     double ToleranceOverride = -1.0);
+/// \p ExcludeBenchmarks lists benchmarks whose metrics (name before the
+/// first '.') are demoted to informational — the fault-isolation path:
+/// a failed benchmark's missing metrics must not read as regressions.
+BaselineComparison
+compareToBaseline(const MetricMap &Actual, std::string_view BaselineJson,
+                  double ToleranceOverride = -1.0,
+                  const std::vector<std::string> &ExcludeBenchmarks = {});
+
+/// Renders a two-run metrics comparison (`kremlin stats --diff a b`):
+/// every metric present in either map, sorted by |relative delta|
+/// descending, with values and the relative change. Metrics present on
+/// only one side are listed as added/removed.
+std::string renderMetricsDiff(const MetricMap &A, const MetricMap &B);
 
 } // namespace kremlin
 

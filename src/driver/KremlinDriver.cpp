@@ -5,6 +5,7 @@
 #include "ir/Verifier.h"
 #include "parser/Lower.h"
 #include "parser/Parser.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
@@ -13,6 +14,25 @@
 using namespace kremlin;
 
 namespace {
+
+/// Records a stage failure: structured Status (stage + input context) plus
+/// the human-readable Errors line the CLI and tests read.
+void failStage(DriverResult &Result, const char *Stage, Status S) {
+  S.withStage(Stage).withInput(Result.SourceName);
+  Result.Errors.push_back(S.toString());
+  Result.Err = std::move(S);
+}
+
+/// KREMLIN_FAULT=stage:<name> gate, checked on stage entry.
+bool stageFaultTripped(DriverResult &Result, const char *Stage) {
+  if (!fault::enabled() || !fault::stageShouldFail(Stage))
+    return false;
+  failStage(Result, Stage,
+            Status::error(ErrorCode::FaultInjected,
+                          "stage failure injected (KREMLIN_FAULT=" +
+                              fault::activeSpec() + ")"));
+  return true;
+}
 
 /// Times one Figure-4 stage: a telemetry span for the trace plus a
 /// wall-clock entry in DriverResult::StageMs for per-run attribution.
@@ -79,6 +99,15 @@ void flushExecutionTelemetry(const KremlinRuntime &RT,
   Reg.gauge("dict.entries").set(static_cast<double>(Dict.alphabet().size()));
   Reg.gauge("dict.compression_ratio").set(Dict.compressionRatio());
 
+  // Guardrail visibility: the configured budget (0 = unlimited) next to the
+  // usage gauges above, and a counter of executions a guardrail stopped.
+  Reg.gauge("shadow.byte_budget")
+      .set(static_cast<double>(Mem.byteBudget()));
+  Reg.gauge("rt.max_region_depth")
+      .set(static_cast<double>(RT.config().MaxRegionDepth));
+  if (RT.failed())
+    Reg.counter("rt.guardrail_trips").add();
+
   if (telemetry::traceEnabled()) {
     telemetry::counterSample("shadow.bytes",
                              static_cast<double>(Mem.allocatedBytes()));
@@ -96,14 +125,24 @@ void flushExecutionTelemetry(const KremlinRuntime &RT,
 DriverResult KremlinDriver::runOnSource(std::string_view Source,
                                         std::string Name) {
   DriverResult Result;
+  Result.SourceName = Name;
 
   ParseResult PR;
   {
     StageScope Stage(Result, "parse");
     Stage.span().arg("source", Name);
+    if (stageFaultTripped(Result, "parse")) {
+      Result.M = std::make_unique<Module>();
+      return Result;
+    }
     PR = parseMiniC(Source, std::move(Name));
   }
   if (!PR.succeeded()) {
+    // Parse diagnostics already carry file:line:col; keep every line and
+    // summarize the first into the structured status.
+    Result.Err = Status::error(ErrorCode::ParseError, PR.Errors.front())
+                     .withStage("parse")
+                     .withInput(Result.SourceName);
     Result.Errors = std::move(PR.Errors);
     Result.M = std::make_unique<Module>();
     return Result;
@@ -111,9 +150,16 @@ DriverResult KremlinDriver::runOnSource(std::string_view Source,
 
   {
     StageScope Stage(Result, "lower");
+    if (stageFaultTripped(Result, "lower")) {
+      Result.M = std::make_unique<Module>();
+      return Result;
+    }
     LowerResult LR = lowerProgram(PR.Program);
     Result.M = std::move(LR.M);
     if (!LR.succeeded()) {
+      Result.Err = Status::error(ErrorCode::ParseError, LR.Errors.front())
+                       .withStage("lower")
+                       .withInput(Result.SourceName);
       Result.Errors = std::move(LR.Errors);
       return Result;
     }
@@ -123,8 +169,12 @@ DriverResult KremlinDriver::runOnSource(std::string_view Source,
   return Result;
 }
 
-DriverResult KremlinDriver::runOnModule(std::unique_ptr<Module> M) {
+DriverResult KremlinDriver::runOnModule(std::unique_ptr<Module> M,
+                                        std::string Name) {
   DriverResult Result;
+  Result.SourceName = std::move(Name);
+  if (Result.SourceName.empty())
+    Result.SourceName = M ? M->SourceName : "";
   Result.M = std::move(M);
   runPipeline(Result);
   return Result;
@@ -133,8 +183,14 @@ DriverResult KremlinDriver::runOnModule(std::unique_ptr<Module> M) {
 void KremlinDriver::runPipeline(DriverResult &Result) {
   {
     StageScope Stage(Result, "verify");
+    if (stageFaultTripped(Result, "verify"))
+      return;
     std::vector<std::string> Problems = verifyModule(*Result.M);
     if (!Problems.empty()) {
+      Result.Err =
+          Status::error(ErrorCode::Internal, "verifier: " + Problems.front())
+              .withStage("verify")
+              .withInput(Result.SourceName);
       for (std::string &P : Problems)
         Result.Errors.push_back("verifier: " + std::move(P));
       return;
@@ -144,6 +200,8 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
   // Static instrumentation (kremlin-cc).
   {
     StageScope Stage(Result, "instrument");
+    if (stageFaultTripped(Result, "instrument"))
+      return;
     Result.Instrument = instrumentModule(*Result.M);
   }
 
@@ -152,6 +210,8 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
   KremlinRuntime RT(Opts.Runtime, *Result.Dict);
   {
     StageScope Stage(Result, "execute");
+    if (stageFaultTripped(Result, "execute"))
+      return;
     Interpreter Interp(*Result.M, Opts.Interp);
     Result.Exec = Interp.run(&RT);
     Stage.span().arg("dyn_instructions",
@@ -159,7 +219,10 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
   }
   flushExecutionTelemetry(RT, *Result.Dict);
   if (!Result.Exec.Ok) {
-    Result.Errors.push_back("execution failed: " + Result.Exec.Error);
+    failStage(Result, "execute",
+              Result.Exec.Err.ok() ? Status::error(ErrorCode::ExecutionError,
+                                                   Result.Exec.Error)
+                                   : Result.Exec.Err);
     return;
   }
 
@@ -167,6 +230,8 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
   // the alphabet, never the raw dynamic-region stream).
   {
     StageScope Stage(Result, "compress");
+    if (stageFaultTripped(Result, "compress"))
+      return;
     Stage.span().arg("alphabet",
                      std::to_string(Result.Dict->alphabet().size()));
     Result.Profile =
@@ -175,11 +240,15 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
 
   {
     StageScope Stage(Result, "plan");
+    if (stageFaultTripped(Result, "plan"))
+      return;
     Stage.span().arg("personality", Opts.PersonalityName);
     std::unique_ptr<Personality> P = makePersonality(Opts.PersonalityName);
     if (!P) {
-      Result.Errors.push_back("unknown personality '" + Opts.PersonalityName +
-                              "'");
+      failStage(Result, "plan",
+                Status::error(ErrorCode::InvalidArgument,
+                              "unknown personality '" + Opts.PersonalityName +
+                                  "'"));
       return;
     }
     Result.ThePlan = P->plan(*Result.Profile, Opts.Planner);

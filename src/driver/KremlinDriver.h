@@ -26,6 +26,7 @@
 #include "planner/Personality.h"
 #include "profile/ParallelismProfile.h"
 #include "rt/KremlinRuntime.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <string>
@@ -46,7 +47,13 @@ struct DriverOptions {
 /// Everything one pipeline run produces. Check succeeded() before using
 /// the analysis products.
 struct DriverResult {
+  /// Human-readable error lines (parse diagnostics may contribute several).
   std::vector<std::string> Errors;
+  /// Structured failure: names the Figure-4 stage that failed and the input
+  /// involved; Status::ok() iff succeeded().
+  Status Err;
+  /// The source/benchmark name this pipeline ran on (error context).
+  std::string SourceName;
   std::unique_ptr<Module> M;
   InstrumentResult Instrument;
   ExecResult Exec;
@@ -62,6 +69,8 @@ struct DriverResult {
   std::vector<std::pair<std::string, double>> StageMs;
 
   bool succeeded() const { return Errors.empty(); }
+  /// The Figure-4 stage that failed ("" while healthy).
+  const std::string &failedStage() const { return Err.stage(); }
 };
 
 /// Runs the Kremlin pipeline.
@@ -77,7 +86,8 @@ public:
   DriverResult runOnSource(std::string_view Source, std::string Name);
 
   /// Full pipeline from an already-lowered (uninstrumented) module.
-  DriverResult runOnModule(std::unique_ptr<Module> M);
+  /// \p Name labels the input in error context.
+  DriverResult runOnModule(std::unique_ptr<Module> M, std::string Name = "");
 
   /// Re-plans an existing result under different planner settings (the
   /// exclusion-list workflow: no re-profiling needed). Returns the new

@@ -56,8 +56,15 @@ void printUsage() {
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
       "  --min-sp=<f>                             self-parallelism cutoff\n"
       "  --rows=<n>                               plan rows to print\n"
+      "  --max-shadow-mb=<n>                      shadow-memory byte budget\n"
+      "                                           (0 = unlimited; exceeded =>\n"
+      "                                           structured error, not OOM)\n"
+      "  --max-region-depth=<n>                   region-nesting depth cap\n"
+      "                                           (0 = unlimited)\n"
       "  --profile                                dump per-region profile\n"
       "  --save-trace=<path>                      write the compressed trace\n"
+      "  --load-trace=<path>                      decode a compressed trace\n"
+      "                                           and print its summary\n"
       "  --trace-out=<path>                       write a Chrome trace_event\n"
       "                                           JSON of the pipeline run\n"
       "  --metrics-out=<path>                     write the telemetry\n"
@@ -65,8 +72,12 @@ void printUsage() {
       "  --dump-ir                                print instrumented IR\n"
       "  --stats                                  runtime/compression stats\n"
       "The `stats` subcommand runs the same pipeline and renders the\n"
-      "telemetry registry as a table instead of the plan.\n"
-      "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n");
+      "telemetry registry as a table instead of the plan;\n"
+      "`kremlin stats --diff <a.json> <b.json>` compares two metrics files.\n"
+      "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n"
+      "KREMLIN_FAULT=alloc:<p>|trace_corrupt|stage:<name>|bench_throw:<p>\n"
+      "(comma-combined, KREMLIN_FAULT_SEED=<n>) enables deterministic fault\n"
+      "injection for testing failure paths.\n");
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -92,6 +103,8 @@ void printBenchUsage() {
       "regression\n"
       "  --update-baseline        rewrite the baseline from this run\n"
       "  --tolerance=<f>          override the default relative tolerance\n"
+      "  --deadline-ms=<n>        per-benchmark wall-clock deadline; one\n"
+      "                           retry, then the benchmark is marked failed\n"
       "  --trace-out=<path>       write a Chrome trace of the suite run\n"
       "  --metrics-out=<path>     write the telemetry registry as JSON\n"
       "  --no-simulate            skip machine-model plan evaluation\n");
@@ -152,6 +165,8 @@ int benchMain(const std::vector<std::string> &Args) {
       BaselinePath = Value();
     } else if (Arg.rfind("--tolerance=", 0) == 0) {
       Tolerance = std::strtod(Value().c_str(), nullptr);
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      Opts.DeadlineMs = std::strtod(Value().c_str(), nullptr);
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = Value();
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
@@ -179,34 +194,42 @@ int benchMain(const std::vector<std::string> &Args) {
   BenchSuiteResult Result = runBenchSuite(Opts);
   for (const std::string &E : Result.Errors)
     tel::logError("bench", E);
-  if (!Result.succeeded())
-    return 1;
+  // Fault isolation: a failed benchmark never aborts the suite. Its row is
+  // marked, its metrics are excluded from baseline gating, and the exit
+  // code reports the failure after everything else completes.
+  std::vector<std::string> Failed = Result.failedBenchmarks();
 
   // Per-benchmark summary table.
   TablePrinter Table;
-  Table.setHeader({"Benchmark", "dyn insns", "plan", "manual", "overlap",
-                   "ratio", "sim", "wall"});
+  Table.setHeader({"Benchmark", "status", "dyn insns", "plan", "manual",
+                   "overlap", "ratio", "sim", "wall"});
   std::vector<std::string> Names =
       Opts.Benchmarks.empty() ? paperBenchmarkNames() : Opts.Benchmarks;
   auto Get = [&Result](const std::string &Name, const char *Key) {
     auto It = Result.Metrics.find(Name + "." + std::string(Key));
     return It == Result.Metrics.end() ? 0.0 : It->second;
   };
-  for (const std::string &Name : Names)
+  for (const BenchmarkOutcome &O : Result.Outcomes) {
+    const std::string &Name = O.Name;
+    if (O.failed()) {
+      Table.addRow({Name, "failed", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
     Table.addRow(
-        {Name, formatString("%.0f", Get(Name, "dyn_instructions")),
+        {Name, "ok", formatString("%.0f", Get(Name, "dyn_instructions")),
          formatString("%.0f", Get(Name, "plan_size")),
          formatString("%.0f", Get(Name, "manual_plan_size")),
          formatString("%.0f", Get(Name, "plan_overlap")),
          formatFactor(Get(Name, "compression_ratio"), 0),
          Opts.Simulate ? formatFactor(Get(Name, "sim_speedup")) : "-",
          formatString("%.0f ms", Get(Name, "wall_ms"))});
+  }
   std::fputs(Table.render().c_str(), stdout);
-  std::printf("suite: %zu benchmarks on %u threads in %.0f ms\n",
-              Names.size(), Result.ThreadsUsed,
+  std::printf("suite: %zu benchmarks (%zu failed) on %u threads in %.0f ms\n",
+              Names.size(), Failed.size(), Result.ThreadsUsed,
               Result.Metrics["suite.wall_ms"]);
 
-  if (!writeStringToFile(OutPath, metricsToJson(Result.Metrics))) {
+  if (!writeStringToFile(OutPath, suiteResultToJson(Result))) {
     tel::logf(tel::LogLevel::Error, "bench", "cannot write '%s'",
               OutPath.c_str());
     return 1;
@@ -217,6 +240,13 @@ int benchMain(const std::vector<std::string> &Args) {
     return 1;
 
   if (UpdateBaseline) {
+    if (!Failed.empty()) {
+      tel::logf(tel::LogLevel::Error, "bench",
+                "refusing to write a baseline from a run with %zu failed "
+                "benchmark(s)",
+                Failed.size());
+      return 1;
+    }
     if (!writeStringToFile(BaselinePath, makeBaselineJson(Result.Metrics))) {
       tel::logf(tel::LogLevel::Error, "bench", "cannot write '%s'",
                 BaselinePath.c_str());
@@ -236,7 +266,7 @@ int benchMain(const std::vector<std::string> &Args) {
       return 1;
     }
     BaselineComparison Cmp =
-        compareToBaseline(Result.Metrics, BaselineJson, Tolerance);
+        compareToBaseline(Result.Metrics, BaselineJson, Tolerance, Failed);
     std::fputs(Cmp.render().c_str(), stdout);
     if (!Cmp.passed()) {
       // One grep-able line naming every regressed metric; the rendered
@@ -249,9 +279,8 @@ int benchMain(const std::vector<std::string> &Args) {
                 Cmp.NumFailed, List.c_str());
       return 1;
     }
-    return 0;
   }
-  return 0;
+  return Failed.empty() ? 0 : 1;
 }
 
 } // namespace
@@ -276,7 +305,9 @@ int main(int argc, char **argv) {
   std::string SourceName;
   DriverOptions Opts;
   bool DumpIR = false, DumpProfile = false, DumpStats = false;
-  std::string SaveTracePath;
+  bool DiffMode = false;
+  std::vector<std::string> DiffPaths;
+  std::string SaveTracePath, LoadTracePath;
   std::string TraceOut, MetricsOut;
   size_t Rows = 25;
 
@@ -284,9 +315,20 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
     if (Arg.rfind("--bench=", 0) == 0) {
-      GeneratedBenchmark GB = generatePaperBenchmark(Value());
-      Source = GB.Source;
-      SourceName = GB.Name + ".c";
+      Expected<GeneratedBenchmark> GB = tryGeneratePaperBenchmark(Value());
+      if (!GB.ok()) {
+        tel::logError("cli", GB.status().toString());
+        return 1;
+      }
+      Source = GB->Source;
+      SourceName = GB->Name + ".c";
+    } else if (Arg == "--diff") {
+      if (!StatsMode) {
+        tel::logError("cli", "--diff is a `kremlin stats` mode "
+                             "(kremlin stats --diff <a.json> <b.json>)");
+        return 1;
+      }
+      DiffMode = true;
     } else if (Arg == "--tracking") {
       Source = trackingSource();
       SourceName = "tracking.c";
@@ -301,8 +343,16 @@ int main(int argc, char **argv) {
       Opts.Planner.MinSelfParallelism = std::strtod(Value().c_str(), nullptr);
     } else if (Arg.rfind("--rows=", 0) == 0) {
       Rows = std::strtoul(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--max-shadow-mb=", 0) == 0) {
+      Opts.Runtime.MaxShadowBytes =
+          std::strtoull(Value().c_str(), nullptr, 10) * 1024 * 1024;
+    } else if (Arg.rfind("--max-region-depth=", 0) == 0) {
+      Opts.Runtime.MaxRegionDepth =
+          static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
     } else if (Arg.rfind("--save-trace=", 0) == 0) {
       SaveTracePath = Value();
+    } else if (Arg.rfind("--load-trace=", 0) == 0) {
+      LoadTracePath = Value();
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = Value();
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
@@ -317,6 +367,10 @@ int main(int argc, char **argv) {
       printUsage();
       return 0;
     } else if (!Arg.empty() && Arg[0] != '-') {
+      if (DiffMode) {
+        DiffPaths.push_back(Arg);
+        continue;
+      }
       if (!readFile(Arg, Source)) {
         tel::logf(tel::LogLevel::Error, "cli", "cannot read '%s'",
                   Arg.c_str());
@@ -330,7 +384,57 @@ int main(int argc, char **argv) {
       return 1;
     }
   }
-  if (Source.empty() && !StatsMode) {
+  // `kremlin stats --diff a.json b.json`: compare two metrics documents
+  // (bench results, baselines, or --metrics-out snapshots) and exit.
+  if (DiffMode) {
+    if (DiffPaths.size() != 2) {
+      tel::logError("cli", "--diff needs exactly two metrics JSON files");
+      return 1;
+    }
+    MetricMap Maps[2];
+    for (int Side = 0; Side < 2; ++Side) {
+      std::string Json, Error;
+      if (!readFileToString(DiffPaths[Side], Json)) {
+        tel::logError("cli", Status::error(ErrorCode::IoError, "cannot read")
+                                 .withStage("stats-diff")
+                                 .withInput(DiffPaths[Side])
+                                 .toString());
+        return 1;
+      }
+      if (!parseMetricsJson(Json, Maps[Side], &Error)) {
+        tel::logError("cli", Status::error(ErrorCode::DecodeError, Error)
+                                 .withStage("stats-diff")
+                                 .withInput(DiffPaths[Side])
+                                 .toString());
+        return 1;
+      }
+    }
+    std::printf("a: %s\nb: %s\n", DiffPaths[0].c_str(), DiffPaths[1].c_str());
+    std::fputs(renderMetricsDiff(Maps[0], Maps[1]).c_str(), stdout);
+    return 0;
+  }
+
+  // `--load-trace=<path>`: decode a compressed parallelism profile and
+  // print its summary (the aggregation entry point of §2.4).
+  if (!LoadTracePath.empty()) {
+    Expected<DictionaryCompressor> Dict = readTraceFile(LoadTracePath);
+    if (!Dict.ok()) {
+      tel::logError("cli", Dict.status().toString());
+      return 1;
+    }
+    std::printf("trace %s: %zu alphabet entries, %llu dynamic regions, "
+                "%s compressed (%.0fx)\n",
+                LoadTracePath.c_str(), Dict->alphabet().size(),
+                static_cast<unsigned long long>(Dict->numDynamicRegions()),
+                formatBytes(Dict->compressedBytes()).c_str(),
+                Dict->compressionRatio());
+    if (SourceName.empty())
+      return 0;
+  }
+
+  // No input at all (a zero-byte *file* is real input: the pipeline runs
+  // and reports its structured no-main error rather than usage text).
+  if (SourceName.empty() && !StatsMode) {
     printUsage();
     return 1;
   }
@@ -349,7 +453,7 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  if (StatsMode && Source.empty()) {
+  if (StatsMode && SourceName.empty()) {
     // Nothing ran: render the (empty) registry so scripts always get a
     // table on stdout.
     std::fputs(tel::Registry::global().renderTable().c_str(), stdout);
@@ -364,9 +468,9 @@ int main(int argc, char **argv) {
     return 1;
 
   if (!SaveTracePath.empty()) {
-    if (!writeTraceFile(*Result.Dict, SaveTracePath)) {
-      tel::logf(tel::LogLevel::Error, "cli", "cannot write trace to '%s'",
-                SaveTracePath.c_str());
+    Status WriteSt = writeTraceFile(*Result.Dict, SaveTracePath);
+    if (!WriteSt.ok()) {
+      tel::logError("cli", WriteSt.toString());
       return 1;
     }
     std::printf("trace written to %s\n", SaveTracePath.c_str());

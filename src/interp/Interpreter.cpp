@@ -27,11 +27,13 @@ public:
     FuncId Main = M.mainFunction();
     if (Main == NoFunc) {
       Result.Error = "module has no main() function";
+      Result.Err = Status::error(ErrorCode::ExecutionError, Result.Error);
       return Result;
     }
     const Function &F = M.Functions[Main];
     if (F.NumParams != 0) {
       Result.Error = "main() must take no parameters";
+      Result.Err = Status::error(ErrorCode::ExecutionError, Result.Error);
       return Result;
     }
     if (RT)
@@ -42,6 +44,8 @@ public:
     Result.DynInstructions = Steps;
     if (!Error.empty()) {
       Result.Error = Error;
+      Result.Err = St.ok() ? Status::error(ErrorCode::ExecutionError, Error)
+                           : St;
       return Result;
     }
     Result.Ok = true;
@@ -62,10 +66,22 @@ private:
   uint64_t Steps = 0;
   unsigned CallDepth = 0;
   std::string Error;
+  Status St;
 
-  void fail(const std::string &Msg) {
-    if (Error.empty())
+  void fail(const std::string &Msg) { fail(ErrorCode::ExecutionError, Msg); }
+
+  void fail(ErrorCode Code, const std::string &Msg) {
+    if (Error.empty()) {
       Error = Msg;
+      St = Status::error(Code, Msg);
+    }
+  }
+
+  void fail(const Status &S) {
+    if (Error.empty()) {
+      Error = S.message();
+      St = S;
+    }
   }
 
   static double toF(uint64_t Bits) { return std::bit_cast<double>(Bits); }
@@ -79,7 +95,8 @@ private:
   uint64_t callFunction(const Function &F, const std::vector<uint64_t> &Args,
                         ValueId CallerDst) {
     if (++CallDepth > Cfg.MaxCallDepth) {
-      fail(formatString("call depth exceeded in @%s", F.Name.c_str()));
+      fail(ErrorCode::ResourceExhausted,
+           formatString("call depth exceeded in @%s", F.Name.c_str()));
       --CallDepth;
       return 0;
     }
@@ -95,7 +112,8 @@ private:
       SP += F.FrameArrays[A].SizeWords;
     }
     if (SP > Heap.size()) {
-      fail(formatString("stack overflow in @%s", F.Name.c_str()));
+      fail(ErrorCode::ResourceExhausted,
+           formatString("stack overflow in @%s", F.Name.c_str()));
       SP = FrameBase;
       --CallDepth;
       return 0;
@@ -108,12 +126,20 @@ private:
     BlockId Cur = 0;
     bool Returned = false;
     while (!Returned && Error.empty()) {
+      // Guardrail poll, once per basic block: shadow byte budget, region
+      // depth cap, injected allocation faults. Keeps the per-instruction
+      // path free of checks while bounding how far a tripped run proceeds.
+      if (RT && RT->failed()) {
+        fail(RT->status());
+        break;
+      }
       if (RT)
         RT->popControlDepsAtBlock(Cur);
       const BasicBlock &BB = F.Blocks[Cur];
       for (const Instruction &I : BB.Insts) {
         if (++Steps > Cfg.MaxSteps) {
-          fail("dynamic instruction budget exceeded");
+          fail(ErrorCode::ResourceExhausted,
+               "dynamic instruction budget exceeded");
           break;
         }
         switch (I.Op) {
@@ -236,7 +262,8 @@ private:
       }
       if (!Returned && Error.empty() &&
           !isTerminator(F.Blocks[Cur].Insts.back().Op))
-        fail(formatString("@%s: block without terminator reached",
+        fail(ErrorCode::Internal,
+             formatString("@%s: block without terminator reached",
                           F.Name.c_str()));
     }
 

@@ -24,6 +24,7 @@
 
 #include "ir/Module.h"
 #include "rt/KremlinRuntime.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <string>
@@ -45,6 +46,9 @@ struct InterpConfig {
 struct ExecResult {
   bool Ok = false;
   std::string Error;
+  /// Structured form of Error (classifies resource trips vs. program
+  /// misbehavior); Status::ok() iff Ok.
+  Status Err;
   /// Value returned by main (0 when main is void).
   int64_t ExitValue = 0;
   /// Dynamically executed instructions (markers included).

@@ -2,13 +2,16 @@
 
 #include "rt/KremlinRuntime.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 
 using namespace kremlin;
 
 KremlinRuntime::KremlinRuntime(const KremlinConfig &Cfg,
                                RegionSummarySink &Sink)
-    : Cfg(Cfg), Sink(Sink), Memory(Cfg.NumLevels, Cfg.SegmentWords) {
+    : Cfg(Cfg), Sink(Sink),
+      Memory(Cfg.NumLevels, Cfg.SegmentWords, Cfg.MaxShadowBytes) {
   assert(Cfg.NumLevels >= 1 && Cfg.NumLevels <= MaxTrackedLevels &&
          "NumLevels outside the supported window");
   CurInstance.assign(Cfg.NumLevels, 0);
@@ -16,6 +19,14 @@ KremlinRuntime::KremlinRuntime(const KremlinConfig &Cfg,
 
 void KremlinRuntime::enterRegion(RegionId R) {
   unsigned Level = depth();
+  // Depth guardrail: record the error but still push the region so every
+  // exitRegion stays matched while the interpreter unwinds to its next
+  // failure poll.
+  if (Cfg.MaxRegionDepth != 0 && Level >= Cfg.MaxRegionDepth && Err.ok())
+    Err = Status::error(
+        ErrorCode::ResourceExhausted,
+        formatString("region nesting depth cap (%u) exceeded",
+                     Cfg.MaxRegionDepth));
   uint64_t Instance = ++NextInstance;
   if (Level >= Cfg.MinLevel && Level - Cfg.MinLevel < Cfg.NumLevels) {
     // Retag the slot: every shadow cell written by older same-depth regions

@@ -52,6 +52,12 @@ struct KremlinConfig {
   unsigned NumLevels = 16;
   /// Shadow-memory page size in words.
   uint64_t SegmentWords = 4096;
+  /// Shadow-memory byte budget; 0 = unlimited. Tripping it stops the
+  /// profiled execution with a ResourceExhausted error instead of OOM.
+  uint64_t MaxShadowBytes = 0;
+  /// Region-nesting depth cap; 0 = unlimited. Exceeding it (runaway
+  /// recursion in the profiled program) trips ResourceExhausted.
+  unsigned MaxRegionDepth = 0;
   LatencyModel Latency;
 };
 
@@ -129,6 +135,15 @@ public:
   const RuntimeStats &stats() const { return Stats; }
   const KremlinConfig &config() const { return Cfg; }
   uint64_t shadowBytes() const { return Memory.allocatedBytes(); }
+
+  /// True once a resource guardrail tripped (shadow byte budget, region
+  /// depth cap, or an injected allocation fault). Cheap: two loads. The
+  /// interpreter polls this once per basic block and aborts the execution
+  /// with status() as the cause.
+  bool failed() const { return !Err.ok() || !Memory.status().ok(); }
+  /// The guardrail error (ok while healthy). Depth-cap errors take
+  /// precedence over shadow-memory errors.
+  const Status &status() const { return Err.ok() ? Memory.status() : Err; }
   /// Read access to the shadow memory (telemetry flush, tests).
   const ShadowMemory &shadowMemory() const { return Memory; }
 
@@ -163,6 +178,7 @@ private:
   RegionSummarySink &Sink;
   ShadowMemory Memory;
   RuntimeStats Stats;
+  Status Err;
 
   std::vector<ActiveRegion> Regions;
   std::vector<Frame> Frames;

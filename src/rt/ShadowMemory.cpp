@@ -2,7 +2,35 @@
 
 #include "rt/ShadowMemory.h"
 
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+
 using namespace kremlin;
+
+bool ShadowMemory::allocateSegment(uint64_t Seg) {
+  if (!Err.ok())
+    return false;
+  uint64_t SegmentBytes = SegmentWords * NumLevels * sizeof(ShadowCell);
+  if (ByteBudget != 0 && allocatedBytes() + SegmentBytes > ByteBudget) {
+    Err = Status::error(
+        ErrorCode::ResourceExhausted,
+        formatString("shadow-memory byte budget (%s) exceeded: %llu segments "
+                     "of %s each already live",
+                     formatBytes(ByteBudget).c_str(),
+                     static_cast<unsigned long long>(AllocatedSegments),
+                     formatBytes(SegmentBytes).c_str()));
+    return false;
+  }
+  if (fault::enabled() && fault::shouldFail(fault::Site::Alloc)) {
+    Err = Status::error(ErrorCode::FaultInjected,
+                        "shadow-segment allocation failed (KREMLIN_FAULT=" +
+                            fault::activeSpec() + ")");
+    return false;
+  }
+  Directory[Seg] = std::make_unique<ShadowCell[]>(SegmentWords * NumLevels);
+  ++AllocatedSegments;
+  return true;
+}
 
 void ShadowMemory::releaseRange(uint64_t Addr, uint64_t Words) {
   if (Words == 0)

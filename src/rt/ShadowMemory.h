@@ -23,6 +23,7 @@
 #define KREMLIN_RT_SHADOWMEMORY_H
 
 #include "rt/Timestamp.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <memory>
@@ -41,8 +42,13 @@ class ShadowMemory {
 public:
   /// \p NumLevels is the size of the per-word level array (the depth window
   /// width); \p SegmentWords is the page size of the lazy second level.
-  explicit ShadowMemory(unsigned NumLevels, uint64_t SegmentWords = 4096)
-      : NumLevels(NumLevels), SegmentWords(SegmentWords) {}
+  /// \p ByteBudget caps total shadow bytes (0 = unlimited): the first
+  /// allocation that would exceed it records a ResourceExhausted status and
+  /// later writes to unallocated segments become no-ops.
+  explicit ShadowMemory(unsigned NumLevels, uint64_t SegmentWords = 4096,
+                        uint64_t ByteBudget = 0)
+      : NumLevels(NumLevels), SegmentWords(SegmentWords),
+        ByteBudget(ByteBudget) {}
 
   /// Reads the time for \p Addr at level slot \p Slot, tag-checked against
   /// \p Tag: a missing segment or stale tag reads as 0.
@@ -57,17 +63,16 @@ public:
   }
 
   /// Writes time \p T for \p Addr at level slot \p Slot with tag \p Tag,
-  /// allocating the segment on first touch.
+  /// allocating the segment on first touch. Once the byte budget trips the
+  /// write is dropped (status() reports the error; the caller polls it at a
+  /// coarse boundary rather than per write).
   void write(uint64_t Addr, unsigned Slot, uint64_t Tag, Time T) {
     ++Writes;
     uint64_t Seg = Addr / SegmentWords;
     if (Seg >= Directory.size())
       Directory.resize(Seg + 1);
-    if (!Directory[Seg]) {
-      Directory[Seg] =
-          std::make_unique<ShadowCell[]>(SegmentWords * NumLevels);
-      ++AllocatedSegments;
-    }
+    if (!Directory[Seg] && !allocateSegment(Seg))
+      return;
     ShadowCell &Cell =
         Directory[Seg][(Addr % SegmentWords) * NumLevels + Slot];
     Cell.Tag = Tag;
@@ -95,10 +100,22 @@ public:
   uint64_t allocatedBytes() const {
     return AllocatedSegments * SegmentWords * NumLevels * sizeof(ShadowCell);
   }
+  /// Configured byte budget (0 = unlimited).
+  uint64_t byteBudget() const { return ByteBudget; }
+
+  /// Ok until the byte budget trips (or a fault-injected allocation
+  /// failure); then a ResourceExhausted/FaultInjected error.
+  const Status &status() const { return Err; }
 
 private:
+  /// Allocation slow path: budget + fault-injection checks live here, off
+  /// the per-write fast path. Returns false when the segment was refused.
+  bool allocateSegment(uint64_t Seg);
+
   unsigned NumLevels;
   uint64_t SegmentWords;
+  uint64_t ByteBudget;
+  Status Err;
   std::vector<std::unique_ptr<ShadowCell[]>> Directory;
   uint64_t AllocatedSegments = 0;
   mutable uint64_t Reads = 0; ///< read() is logically const; the tally isn't.

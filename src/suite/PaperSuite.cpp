@@ -310,6 +310,24 @@ GeneratedBenchmark kremlin::generatePaperBenchmark(const std::string &Name) {
   return generateBenchmark(paperBenchmarkSpec(Name));
 }
 
+Expected<GeneratedBenchmark>
+kremlin::tryGeneratePaperBenchmark(const std::string &Name) {
+  const std::vector<std::string> &Known = paperBenchmarkNames();
+  bool Found = false;
+  for (const std::string &K : Known)
+    Found |= K == Name;
+  if (!Found) {
+    std::string Valid;
+    for (const std::string &K : Known)
+      Valid += (Valid.empty() ? "" : " ") + K;
+    return Status::error(ErrorCode::InvalidArgument,
+                         "unknown paper benchmark (expected one of: " + Valid +
+                             ")")
+        .withInput(Name);
+  }
+  return generatePaperBenchmark(Name);
+}
+
 std::string kremlin::trackingSource() {
   // A MiniC rendition of the SD-VBS feature-tracking pipeline used in
   // Figures 2 and 3: two blur passes, Sobel passes, patch interpolation

@@ -20,6 +20,7 @@
 
 #include "suite/BenchmarkSpec.h"
 #include "suite/SourceGenerator.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -44,6 +45,10 @@ BenchmarkSpec paperBenchmarkSpec(const std::string &Name);
 
 /// Generates \p Name's MiniC source + loop map.
 GeneratedBenchmark generatePaperBenchmark(const std::string &Name);
+
+/// Like generatePaperBenchmark but reports unknown names as a value
+/// (InvalidArgument listing the valid names) — for user-supplied input.
+Expected<GeneratedBenchmark> tryGeneratePaperBenchmark(const std::string &Name);
 
 /// Paper-reported facts for \p Name.
 PaperFacts paperFacts(const std::string &Name);

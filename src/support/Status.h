@@ -1,0 +1,209 @@
+//===- support/Status.h - Recoverable errors as values ----------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style recoverable-error values. Kremlin profiles *arbitrary* user
+/// programs, so every failure a hostile input can provoke — parse errors,
+/// corrupt traces, resource blow-ups — must travel back to the caller as a
+/// value instead of aborting the process (kremlin_fatal is reserved for
+/// genuine internal invariant violations; see ErrorHandling.h).
+///
+/// A Status is either ok() or carries an ErrorCode, a message, and optional
+/// context: the pipeline stage that failed and the input file involved, so
+/// the one-line rendering is actionable ("stage 'execute' failed for
+/// 'ft.c': shadow-memory byte budget (16 MB) exceeded").
+///
+/// Expected<T> is a Status-or-value union for factory-style APIs:
+///
+///   Expected<DictionaryCompressor> D = readTraceFile(Path);
+///   if (!D.ok())
+///     return D.status();
+///   use(*D);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_STATUS_H
+#define KREMLIN_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace kremlin {
+
+/// Coarse error classification; the distinctions the callers act on
+/// (retry, budget report, diagnostics) rather than one code per message.
+enum class ErrorCode : unsigned char {
+  Ok = 0,
+  /// Caller passed something unusable (unknown benchmark, bad flag value).
+  InvalidArgument,
+  /// The profiled source failed to lex/parse/lower.
+  ParseError,
+  /// A serialized artifact (compressed trace, metrics JSON) is malformed.
+  DecodeError,
+  /// The profiled program misbehaved at run time (OOB access, no main).
+  ExecutionError,
+  /// A configured budget tripped (shadow bytes, region depth, step count).
+  ResourceExhausted,
+  /// A wall-clock deadline elapsed (bench harness per-benchmark cap).
+  DeadlineExceeded,
+  /// The filesystem said no.
+  IoError,
+  /// A KREMLIN_FAULT injection point fired (tests / fault drills).
+  FaultInjected,
+  /// An internal invariant almost aborted; surfaced as a value instead.
+  Internal,
+};
+
+/// Short kebab-case name for diagnostics ("resource-exhausted").
+inline const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidArgument:
+    return "invalid-argument";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::DecodeError:
+    return "decode-error";
+  case ErrorCode::ExecutionError:
+    return "execution-error";
+  case ErrorCode::ResourceExhausted:
+    return "resource-exhausted";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::FaultInjected:
+    return "fault-injected";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+/// An ok-or-error value. The ok state is a null pointer, so passing
+/// successes around is free; error payloads are shared on copy (a Status is
+/// written once at the failure site and only read afterwards).
+class [[nodiscard]] Status {
+public:
+  /// Default-constructed Status is ok.
+  Status() = default;
+
+  /// Named ok-constructor (reads better at return sites than `Status()`).
+  static Status success() { return Status(); }
+
+  static Status error(ErrorCode Code, std::string Msg) {
+    assert(Code != ErrorCode::Ok && "error() requires a non-ok code");
+    Status S;
+    S.Info = std::make_shared<Payload>();
+    S.Info->Code = Code;
+    S.Info->Message = std::move(Msg);
+    return S;
+  }
+
+  bool ok() const { return Info == nullptr; }
+  ErrorCode code() const { return Info ? Info->Code : ErrorCode::Ok; }
+
+  const std::string &message() const { return Info ? Info->Message : empty(); }
+  const std::string &stage() const { return Info ? Info->Stage : empty(); }
+  const std::string &input() const { return Info ? Info->Input : empty(); }
+
+  /// Attaches the failing pipeline stage ("parse", "execute", ...). The
+  /// innermost (first) setter wins, so layered callers can add context
+  /// unconditionally.
+  Status &withStage(std::string_view Stage) {
+    if (Info && Info->Stage.empty())
+      Info->Stage = Stage;
+    return *this;
+  }
+
+  /// Attaches the input file/benchmark name. Innermost setter wins.
+  Status &withInput(std::string_view Input) {
+    if (Info && Info->Input.empty())
+      Info->Input = Input;
+    return *this;
+  }
+
+  /// One actionable line:
+  ///   stage 'execute' failed for 'ft.c': <message> [resource-exhausted]
+  /// Context pieces are omitted when absent.
+  std::string toString() const {
+    if (ok())
+      return "ok";
+    std::string Out;
+    if (!stage().empty())
+      Out += "stage '" + stage() + "' failed";
+    if (!input().empty())
+      Out += (Out.empty() ? "failed for '" : " for '") + input() + "'";
+    if (!Out.empty())
+      Out += ": ";
+    Out += message();
+    Out += std::string(" [") + errorCodeName(code()) + "]";
+    return Out;
+  }
+
+private:
+  struct Payload {
+    ErrorCode Code = ErrorCode::Internal;
+    std::string Message;
+    std::string Stage;
+    std::string Input;
+  };
+
+  static const std::string &empty() {
+    static const std::string E;
+    return E;
+  }
+
+  std::shared_ptr<Payload> Info;
+};
+
+/// A T-or-Status union. Implicitly constructible from either side so
+/// factories can `return Status::error(...)` or `return Value` directly.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Val(std::move(Value)) {}
+  Expected(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "Expected built from an ok Status carries no value");
+  }
+
+  bool ok() const { return Val.has_value(); }
+
+  /// The error; Status::ok() when a value is present.
+  const Status &status() const { return St; }
+
+  T &value() {
+    assert(ok() && "value() on an errored Expected");
+    return *Val;
+  }
+  const T &value() const {
+    assert(ok() && "value() on an errored Expected");
+    return *Val;
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Moves the value out (the Expected is then exhausted).
+  T takeValue() {
+    assert(ok() && "takeValue() on an errored Expected");
+    return std::move(*Val);
+  }
+
+private:
+  std::optional<T> Val;
+  Status St;
+};
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_STATUS_H

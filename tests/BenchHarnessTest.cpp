@@ -9,11 +9,18 @@
 
 #include "driver/BenchHarness.h"
 
+#include "support/FaultInjection.h"
+
 #include "gtest/gtest.h"
 
 using namespace kremlin;
 
 namespace {
+
+/// Tests that arm fault injection restore a clean process on exit.
+struct FaultGuard {
+  ~FaultGuard() { fault::reset(); }
+};
 
 /// One small suite run shared by the tests (ep and cg are the two fastest
 /// paper benchmarks).
@@ -69,6 +76,157 @@ TEST(BenchHarness, UnknownBenchmarkReportsError) {
   Opts.Benchmarks = {"no-such-benchmark"};
   BenchSuiteResult R = runBenchSuite(Opts);
   EXPECT_FALSE(R.succeeded());
+  ASSERT_EQ(R.Outcomes.size(), 1u);
+  EXPECT_TRUE(R.Outcomes[0].failed());
+  EXPECT_NE(R.Outcomes[0].Error.find("unknown paper benchmark"),
+            std::string::npos)
+      << R.Outcomes[0].Error;
+}
+
+TEST(BenchHarness, FailedBenchmarkDoesNotAbortTheSuite) {
+  // One benchmark's pipeline fails (unknown name); the others must still
+  // complete and contribute their full metric families.
+  BenchSuiteOptions Opts;
+  Opts.Threads = 2;
+  Opts.Benchmarks = {"ep", "no-such-benchmark", "cg"};
+  BenchSuiteResult R = runBenchSuite(Opts);
+  EXPECT_FALSE(R.succeeded());
+  ASSERT_EQ(R.Outcomes.size(), 3u);
+  EXPECT_FALSE(R.Outcomes[0].failed());
+  EXPECT_TRUE(R.Outcomes[1].failed());
+  EXPECT_FALSE(R.Outcomes[2].failed());
+  EXPECT_EQ(R.failedBenchmarks(),
+            std::vector<std::string>{"no-such-benchmark"});
+  EXPECT_TRUE(R.Metrics.count("ep.plan_size"));
+  EXPECT_TRUE(R.Metrics.count("cg.plan_size"));
+  EXPECT_EQ(R.Metrics.at("suite.failed"), 1.0);
+}
+
+TEST(BenchHarness, WorkerExceptionIsCaughtAtTheHarnessBoundary) {
+  // KREMLIN_FAULT=bench_throw makes every worker throw; the harness must
+  // record per-benchmark failures instead of letting the exception escape
+  // a ThreadPool future and crash the process.
+  FaultGuard Guard;
+  ASSERT_TRUE(fault::configure("bench_throw"));
+  BenchSuiteOptions Opts;
+  Opts.Threads = 2;
+  Opts.Benchmarks = {"ep", "cg"};
+  BenchSuiteResult R = runBenchSuite(Opts);
+  fault::reset();
+
+  EXPECT_FALSE(R.succeeded());
+  ASSERT_EQ(R.Outcomes.size(), 2u);
+  for (const BenchmarkOutcome &O : R.Outcomes) {
+    EXPECT_TRUE(O.failed()) << O.Name;
+    EXPECT_FALSE(O.Error.empty());
+  }
+  EXPECT_EQ(R.failedBenchmarks().size(), 2u);
+  // Failed benchmarks contribute no (partial) metrics.
+  EXPECT_FALSE(R.Metrics.count("ep.plan_size"));
+  EXPECT_EQ(R.Metrics.at("suite.failed"), 2.0);
+}
+
+TEST(BenchHarness, StageFaultMarksBenchmarkFailed) {
+  FaultGuard Guard;
+  ASSERT_TRUE(fault::configure("stage:execute"));
+  BenchSuiteOptions Opts;
+  Opts.Threads = 1;
+  Opts.Benchmarks = {"ep"};
+  BenchSuiteResult R = runBenchSuite(Opts);
+  fault::reset();
+
+  ASSERT_EQ(R.Outcomes.size(), 1u);
+  EXPECT_TRUE(R.Outcomes[0].failed());
+  EXPECT_NE(R.Outcomes[0].Error.find("execute"), std::string::npos)
+      << R.Outcomes[0].Error;
+
+  // The JSON results document records the failure for consumers.
+  std::string Json = suiteResultToJson(R);
+  EXPECT_NE(Json.find("\"status\": \"failed\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"error\":"), std::string::npos);
+}
+
+TEST(BenchHarness, SuiteResultJsonRecordsOutcomes) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Json = suiteResultToJson(R);
+  // Metric consumers read the document unchanged...
+  MetricMap Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseMetricsJson(Json, Parsed, &Error)) << Error;
+  EXPECT_EQ(Parsed.size(), R.Metrics.size());
+  // ...and the benchmarks object records per-benchmark completion.
+  EXPECT_NE(Json.find("\"benchmarks\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"ep\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"status\": \"ok\""), std::string::npos) << Json;
+}
+
+TEST(BenchHarness, DeadlineOverrunFailsAfterOneRetry) {
+  BenchSuiteOptions Opts;
+  Opts.Threads = 1;
+  Opts.Benchmarks = {"ep"};
+  Opts.DeadlineMs = 1e-6; // Unmeetable: any real run overshoots.
+  BenchSuiteResult R = runBenchSuite(Opts);
+  ASSERT_EQ(R.Outcomes.size(), 1u);
+  EXPECT_TRUE(R.Outcomes[0].failed());
+  EXPECT_EQ(R.Outcomes[0].Attempts, 2u);
+  EXPECT_NE(R.Outcomes[0].Error.find("deadline"), std::string::npos)
+      << R.Outcomes[0].Error;
+}
+
+TEST(BenchHarness, GenerousDeadlinePasses) {
+  BenchSuiteOptions Opts;
+  Opts.Threads = 1;
+  Opts.Benchmarks = {"ep"};
+  Opts.DeadlineMs = 600000.0;
+  BenchSuiteResult R = runBenchSuite(Opts);
+  ASSERT_EQ(R.Outcomes.size(), 1u);
+  EXPECT_FALSE(R.Outcomes[0].failed());
+  EXPECT_EQ(R.Outcomes[0].Attempts, 1u);
+}
+
+TEST(BenchHarness, ExcludedBenchmarksAreInformationalInBaseline) {
+  const BenchSuiteResult &R = sharedRun();
+  std::string Baseline = makeBaselineJson(R.Metrics);
+
+  // Simulate a run where cg failed: all its metrics are absent.
+  MetricMap Partial;
+  for (const auto &M : R.Metrics)
+    if (M.first.rfind("cg.", 0) != 0)
+      Partial[M.first] = M.second;
+
+  // Without the exclusion the missing metrics read as regressions...
+  EXPECT_FALSE(compareToBaseline(Partial, Baseline).passed());
+  // ...with it, the failed benchmark is demoted to informational and the
+  // rest of the suite still gates normally.
+  BaselineComparison Cmp = compareToBaseline(Partial, Baseline, -1.0, {"cg"});
+  EXPECT_TRUE(Cmp.passed()) << Cmp.render();
+  EXPECT_GT(Cmp.NumSkipped, 0u);
+
+  // An ep regression still fails even while cg is excluded.
+  MetricMap Regressed = Partial;
+  Regressed["ep.plan_size"] *= 2.0;
+  EXPECT_FALSE(compareToBaseline(Regressed, Baseline, -1.0, {"cg"}).passed());
+}
+
+TEST(BenchHarness, MetricsDiffRendersChanges) {
+  MetricMap A = {{"a.x", 10.0}, {"a.y", 5.0}, {"gone.z", 1.0}};
+  MetricMap B = {{"a.x", 12.0}, {"a.y", 5.0}, {"new.w", 2.0}};
+  std::string Diff = renderMetricsDiff(A, B);
+  EXPECT_NE(Diff.find("a.x"), std::string::npos);
+  EXPECT_NE(Diff.find("+20.00%"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("gone.z"), std::string::npos);
+  EXPECT_NE(Diff.find("removed"), std::string::npos);
+  EXPECT_NE(Diff.find("new.w"), std::string::npos);
+  EXPECT_NE(Diff.find("added"), std::string::npos);
+  // Unchanged metrics are elided from the table.
+  EXPECT_EQ(Diff.find("a.y"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("3 of 4 metrics differ"), std::string::npos) << Diff;
+}
+
+TEST(BenchHarness, MetricsDiffOfIdenticalMapsIsQuiet) {
+  MetricMap A = {{"a.x", 10.0}};
+  std::string Diff = renderMetricsDiff(A, A);
+  EXPECT_NE(Diff.find("0 of 1 metrics differ"), std::string::npos) << Diff;
 }
 
 TEST(BenchHarness, MetricsJsonRoundTrips) {

@@ -59,7 +59,14 @@ TEST(Driver, ExecutionErrorsPropagate) {
       "loop.c");
   EXPECT_FALSE(R.succeeded());
   ASSERT_FALSE(R.Errors.empty());
-  EXPECT_NE(R.Errors[0].find("execution failed"), std::string::npos);
+  // The failure is rendered as a structured Status naming the stage and
+  // the input file, and carries a resource-exhausted code (step budget).
+  EXPECT_NE(R.Errors[0].find("stage 'execute' failed"), std::string::npos)
+      << R.Errors[0];
+  EXPECT_NE(R.Errors[0].find("loop.c"), std::string::npos) << R.Errors[0];
+  EXPECT_FALSE(R.Err.ok());
+  EXPECT_EQ(R.Err.code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(R.failedStage(), "execute");
 }
 
 TEST(Driver, UnknownPersonalityFails) {

@@ -1,0 +1,104 @@
+//===- tests/StatusTest.cpp - Status / Expected<T> unit tests -------------===//
+//
+// The error-value vocabulary every recoverable failure travels through:
+// construction, context attachment (innermost wins), rendering, and the
+// Expected<T> union.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include "gtest/gtest.h"
+
+using namespace kremlin;
+
+namespace {
+
+TEST(Status, DefaultAndSuccessAreOk) {
+  Status Default;
+  EXPECT_TRUE(Default.ok());
+  EXPECT_EQ(Default.code(), ErrorCode::Ok);
+  EXPECT_TRUE(Default.message().empty());
+  EXPECT_EQ(Default.toString(), "ok");
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(ErrorCode::ParseError, "unexpected token");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::ParseError);
+  EXPECT_EQ(S.message(), "unexpected token");
+  EXPECT_TRUE(S.stage().empty());
+  EXPECT_TRUE(S.input().empty());
+}
+
+TEST(Status, InnermostContextWins) {
+  Status S = Status::error(ErrorCode::DecodeError, "bad byte")
+                 .withStage("trace-decode")
+                 .withInput("a.ktrace");
+  // Outer layers attach context unconditionally; the first setter sticks.
+  S.withStage("compress").withInput("b.ktrace");
+  EXPECT_EQ(S.stage(), "trace-decode");
+  EXPECT_EQ(S.input(), "a.ktrace");
+}
+
+TEST(Status, ToStringRendersAllContextPieces) {
+  Status Full = Status::error(ErrorCode::ResourceExhausted, "budget tripped")
+                    .withStage("execute")
+                    .withInput("ft.c");
+  EXPECT_EQ(Full.toString(),
+            "stage 'execute' failed for 'ft.c': budget tripped "
+            "[resource-exhausted]");
+
+  Status NoStage =
+      Status::error(ErrorCode::IoError, "cannot open").withInput("x.json");
+  EXPECT_EQ(NoStage.toString(),
+            "failed for 'x.json': cannot open [io-error]");
+
+  Status Bare = Status::error(ErrorCode::Internal, "oops");
+  EXPECT_EQ(Bare.toString(), "oops [internal]");
+}
+
+TEST(Status, CopiesShareThePayload) {
+  Status S = Status::error(ErrorCode::ExecutionError, "boom");
+  Status Copy = S;
+  Copy.withStage("execute");
+  // Shared payload: context attached through the copy is visible through
+  // the original (a Status is written once at the failure site).
+  EXPECT_EQ(S.stage(), "execute");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (ErrorCode C :
+       {ErrorCode::Ok, ErrorCode::InvalidArgument, ErrorCode::ParseError,
+        ErrorCode::DecodeError, ErrorCode::ExecutionError,
+        ErrorCode::ResourceExhausted, ErrorCode::DeadlineExceeded,
+        ErrorCode::IoError, ErrorCode::FaultInjected, ErrorCode::Internal})
+    EXPECT_STRNE(errorCodeName(C), "unknown");
+}
+
+TEST(Expected, ValueSide) {
+  Expected<int> E = 42;
+  ASSERT_TRUE(E.ok());
+  EXPECT_TRUE(E.status().ok());
+  EXPECT_EQ(*E, 42);
+  EXPECT_EQ(E.value(), 42);
+  EXPECT_EQ(E.takeValue(), 42);
+}
+
+TEST(Expected, ErrorSide) {
+  Expected<int> E = Status::error(ErrorCode::InvalidArgument, "nope");
+  EXPECT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(E.status().message(), "nope");
+}
+
+TEST(Expected, ArrowReachesMembers) {
+  struct Box {
+    int N = 7;
+  };
+  Expected<Box> E = Box{};
+  EXPECT_EQ(E->N, 7);
+}
+
+} // namespace

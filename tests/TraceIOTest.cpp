@@ -31,21 +31,21 @@ const char *TwoPhaseSrc = R"(
 TEST(TraceIO, RoundTripPreservesEverything) {
   ProfiledRun Run = profileSource(TwoPhaseSrc);
   std::string Text = writeTrace(*Run.Dict);
-  TraceReadResult R = readTrace(Text);
-  ASSERT_TRUE(R.Ok) << R.Error;
-  ASSERT_EQ(R.Dict.alphabet().size(), Run.Dict->alphabet().size());
-  for (size_t C = 0; C < R.Dict.alphabet().size(); ++C)
-    EXPECT_TRUE(R.Dict.alphabet()[C] == Run.Dict->alphabet()[C])
+  Expected<DictionaryCompressor> R = readTrace(Text);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R->alphabet().size(), Run.Dict->alphabet().size());
+  for (size_t C = 0; C < R->alphabet().size(); ++C)
+    EXPECT_TRUE(R->alphabet()[C] == Run.Dict->alphabet()[C])
         << "char " << C;
-  EXPECT_EQ(R.Dict.roots(), Run.Dict->roots());
-  EXPECT_EQ(R.Dict.numDynamicRegions(), Run.Dict->numDynamicRegions());
+  EXPECT_EQ(R->roots(), Run.Dict->roots());
+  EXPECT_EQ(R->numDynamicRegions(), Run.Dict->numDynamicRegions());
 }
 
 TEST(TraceIO, ProfileFromReloadedTraceIsIdentical) {
   ProfiledRun Run = profileSource(TwoPhaseSrc);
-  TraceReadResult R = readTrace(writeTrace(*Run.Dict));
-  ASSERT_TRUE(R.Ok);
-  ParallelismProfile Reloaded(*Run.M, R.Dict);
+  Expected<DictionaryCompressor> R = readTrace(writeTrace(*Run.Dict));
+  ASSERT_TRUE(R.ok());
+  ParallelismProfile Reloaded(*Run.M, *R);
   ASSERT_EQ(Reloaded.entries().size(), Run.Profile->entries().size());
   for (size_t I = 0; I < Reloaded.entries().size(); ++I) {
     const RegionProfileEntry &A = Run.Profile->entries()[I];
@@ -60,35 +60,47 @@ TEST(TraceIO, ProfileFromReloadedTraceIsIdentical) {
 TEST(TraceIO, FileRoundTrip) {
   ProfiledRun Run = profileSource(TwoPhaseSrc);
   std::string Path = ::testing::TempDir() + "/kremlin_trace_test.txt";
-  ASSERT_TRUE(writeTraceFile(*Run.Dict, Path));
-  TraceReadResult R = readTraceFile(Path);
-  EXPECT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Dict.alphabet().size(), Run.Dict->alphabet().size());
+  ASSERT_TRUE(writeTraceFile(*Run.Dict, Path).ok());
+  Expected<DictionaryCompressor> R = readTraceFile(Path);
+  EXPECT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->alphabet().size(), Run.Dict->alphabet().size());
   std::remove(Path.c_str());
 }
 
 TEST(TraceIO, RejectsMalformedInput) {
-  EXPECT_FALSE(readTrace("").Ok);
-  EXPECT_FALSE(readTrace("not-a-trace 1\n").Ok);
-  EXPECT_FALSE(readTrace("kremlin-trace 2\n").Ok);
-  EXPECT_FALSE(readTrace("kremlin-trace 1\nregions banana\n").Ok);
+  EXPECT_FALSE(readTrace("").ok());
+  EXPECT_FALSE(readTrace("not-a-trace 1\n").ok());
+  EXPECT_FALSE(readTrace("kremlin-trace 2\n").ok());
+  EXPECT_FALSE(readTrace("kremlin-trace 1\nregions banana\n").ok());
   // Child referencing itself / a later char violates leaves-first order.
   EXPECT_FALSE(
-      readTrace("kremlin-trace 1\nregions 1\nentry 0 10 5 1 0 2\n").Ok);
+      readTrace("kremlin-trace 1\nregions 1\nentry 0 10 5 1 0 2\n").ok());
   // Root index out of range.
   EXPECT_FALSE(
       readTrace("kremlin-trace 1\nregions 1\nentry 0 10 5 0\nroot 7 1\n")
-          .Ok);
-  EXPECT_FALSE(readTraceFile("/nonexistent/path/trace.txt").Ok);
+          .ok());
+  EXPECT_FALSE(readTraceFile("/nonexistent/path/trace.txt").ok());
+}
+
+TEST(TraceIO, ErrorsCarryStageAndCode) {
+  Status S = readTrace("kremlin-trace 1\nregions 1\n").status();
+  EXPECT_EQ(S.code(), ErrorCode::DecodeError);
+  EXPECT_EQ(S.stage(), "trace-decode");
+  EXPECT_NE(S.toString().find("trace-decode"), std::string::npos);
+
+  Status FileS = readTraceFile("/nonexistent/path/trace.txt").status();
+  EXPECT_EQ(FileS.code(), ErrorCode::IoError);
+  EXPECT_EQ(FileS.input(), "/nonexistent/path/trace.txt");
 }
 
 TEST(TraceIO, AcceptsMinimalValidTrace) {
-  TraceReadResult R = readTrace("kremlin-trace 1\nregions 1\n"
-                                "entry 0 10 5 0\nroot 0 1\ndynregions 4\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Dict.alphabet().size(), 1u);
-  EXPECT_EQ(R.Dict.numDynamicRegions(), 4u);
-  EXPECT_EQ(R.Dict.computeMultiplicities()[0], 1u);
+  Expected<DictionaryCompressor> R =
+      readTrace("kremlin-trace 1\nregions 1\n"
+                "entry 0 10 5 0\nroot 0 1\ndynregions 4\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->alphabet().size(), 1u);
+  EXPECT_EQ(R->numDynamicRegions(), 4u);
+  EXPECT_EQ(R->computeMultiplicities()[0], 1u);
 }
 
 // --- Multi-run aggregation (§2.4) ---------------------------------------------
@@ -138,9 +150,9 @@ TEST(Aggregation, CombinesRunsWithDifferentBehaviour) {
     Interpreter I(*M);
     ASSERT_TRUE(I.run(&RT).Ok);
   }
-  TraceReadResult Reloaded = readTrace(writeTrace(D1));
-  ASSERT_TRUE(Reloaded.Ok);
-  ParallelismProfile Agg(*M, {&D1, &Reloaded.Dict});
+  Expected<DictionaryCompressor> Reloaded = readTrace(writeTrace(D1));
+  ASSERT_TRUE(Reloaded.ok());
+  ParallelismProfile Agg(*M, {&D1, &*Reloaded});
   ParallelismProfile One(*M, D1);
   EXPECT_EQ(Agg.programWork(), 2 * One.programWork());
   EXPECT_EQ(Agg.rootRegion(), One.rootRegion());

@@ -1,0 +1,1 @@
+int main() { /* this comment never ends
