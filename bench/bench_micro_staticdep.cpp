@@ -1,0 +1,114 @@
+//===- bench/bench_micro_staticdep.cpp - static analysis microbenches -----===//
+//
+// Microbenchmarks for the static loop-dependence layer. The analyzer runs
+// once per pipeline (and on every `kremlin lint`), so its cost must stay
+// linear in module size: these cases pin the reaching-definitions fixpoint,
+// the per-loop scalar dependence scan, and the whole-module analyze stage
+// on a synthetic many-loop program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GBenchJson.h"
+
+#include "analysis/DataFlow.h"
+#include "analysis/StaticDependence.h"
+#include "instrument/Instrumenter.h"
+#include "parser/Lower.h"
+#include "support/StringUtils.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace kremlin;
+
+namespace {
+
+/// A program with many loops of every verdict class: doall writes to
+/// distinct cells, serial array recurrences, reductions, and an indirect
+/// subscript the SIV tests must give up on.
+std::string manyLoopSource() {
+  std::string Src = "int a[256];\nint b[256];\nint idx[64];\n";
+  Src += "int main() {\n  int s = 0;\n";
+  for (unsigned K = 0; K < 8; ++K) {
+    Src += formatString("  for (int d%u = 0; d%u < 64; d%u = d%u + 1) {"
+                        " a[d%u] = d%u * 3 + %u; }\n",
+                        K, K, K, K, K, K, K);
+    Src += formatString("  for (int r%u = 0; r%u < 63; r%u = r%u + 1) {"
+                        " b[r%u + 1] = b[r%u] + 1; }\n",
+                        K, K, K, K, K, K);
+    Src += formatString("  for (int s%u = 0; s%u < 64; s%u = s%u + 1) {"
+                        " s = s + a[s%u]; }\n",
+                        K, K, K, K, K);
+    Src += formatString("  for (int u%u = 0; u%u < 64; u%u = u%u + 1) {"
+                        " b[idx[u%u] %% 256] = u%u; }\n",
+                        K, K, K, K, K, K);
+  }
+  Src += "  return s % 1009;\n}\n";
+  return Src;
+}
+
+/// Compiles + instruments the synthetic module once for all measurements.
+const Module &staticDepModule() {
+  static std::unique_ptr<Module> M = [] {
+    LowerResult LR = compileMiniC(manyLoopSource(), "staticdep.c");
+    if (!LR.succeeded())
+      std::abort();
+    instrumentModule(*LR.M);
+    return std::move(LR.M);
+  }();
+  return *M;
+}
+
+const Function &mainFunction() {
+  const Module &M = staticDepModule();
+  FuncId Main = M.mainFunction();
+  if (Main == NoFunc)
+    std::abort();
+  return M.Functions[Main];
+}
+
+/// The gen/kill bitvector fixpoint over the 32-loop main function.
+void BM_ReachingDefs(benchmark::State &State) {
+  const Function &F = mainFunction();
+  for (auto _ : State) {
+    ReachingDefs RD(F);
+    benchmark::DoNotOptimize(RD.defs().size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ReachingDefs);
+
+/// One back-edge scalar dependence scan per natural loop, reusing a
+/// single reaching-defs result the way the analyzer does.
+void BM_LoopCarriedScalarDeps(benchmark::State &State) {
+  const Function &F = mainFunction();
+  ReachingDefs RD(F);
+  DomTree DT = computeDominators(F);
+  LoopInfo LI = computeLoops(F);
+  size_t Deps = 0;
+  for (auto _ : State)
+    for (const Loop &L : LI.Loops)
+      Deps += findLoopCarriedScalarDeps(F, L, RD, DT).size();
+  benchmark::DoNotOptimize(Deps);
+  State.SetItemsProcessed(State.iterations() * LI.Loops.size());
+}
+BENCHMARK(BM_LoopCarriedScalarDeps);
+
+/// The whole analyze stage as the driver runs it: every function, every
+/// loop, ZIV/SIV subscript tests included.
+void BM_AnalyzeModule(benchmark::State &State) {
+  const Module &M = staticDepModule();
+  for (auto _ : State) {
+    StaticAnalysisResult R = analyzeModuleDependence(M);
+    if (R.Loops.empty())
+      State.SkipWithError("no loops analyzed");
+    benchmark::DoNotOptimize(R.NumDoall + R.NumSerial + R.NumUnknown);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AnalyzeModule);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return kremlin::bench::gbenchJsonMain("micro_staticdep", argc, argv);
+}

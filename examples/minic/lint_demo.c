@@ -1,0 +1,35 @@
+// lint_demo.c - Companion input for `kremlin lint`.
+//
+//   kremlin lint examples/minic/lint_demo.c
+//
+// The `smooth` loop carries a real flow dependence: iteration i writes
+// acc[i + 1], which iteration i + 1 reads as acc[i]. The subscript test
+// proves a distance-1 dependence, so lint reports the loop as serial and
+// cites both source lines. The `fill` loop touches a distinct cell per
+// iteration and is provably DOALL. Compare with the dynamic view:
+//
+//   kremlin examples/minic/lint_demo.c
+//
+// which measures the same loops on one input instead of proving them.
+
+int acc[256];
+int out[256];
+
+void smooth() {
+  for (int i = 0; i < 255; i = i + 1) {
+    acc[i + 1] = acc[i] + 3;
+  }
+}
+
+void fill() {
+  for (int i = 0; i < 256; i = i + 1) {
+    out[i] = i * 5 + 1;
+  }
+}
+
+int main() {
+  acc[0] = 7;
+  smooth();
+  fill();
+  return acc[255] + out[17];
+}

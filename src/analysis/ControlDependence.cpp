@@ -24,10 +24,33 @@ kremlin::computeControlDependence(const Function &F) {
   for (BlockId BB = 0; BB < N; ++BB)
     Info.MergeBlock[BB] = immediatePostDominator(PDT, F, BB);
 
+  // Branches in blocks unreachable from the entry never execute; walking
+  // the FOW runner from their successors would fabricate control
+  // dependences on dead code (and dead CondBrs may sit in blocks the
+  // post-dominator tree never saw).
+  std::vector<char> FwdReachable(N, 0);
+  if (N > 0) {
+    std::vector<BlockId> Worklist = {0};
+    FwdReachable[0] = 1;
+    while (!Worklist.empty()) {
+      BlockId BB = Worklist.back();
+      Worklist.pop_back();
+      if (!F.Blocks[BB].hasTerminator())
+        continue;
+      for (BlockId S : F.successors(BB))
+        if (S < N && !FwdReachable[S]) {
+          FwdReachable[S] = 1;
+          Worklist.push_back(S);
+        }
+    }
+  }
+
   // Ferrante-Ottenstein-Warren: for edge A->S where A does not strictly
   // post-dominate... walk from S up the post-dominator tree until reaching
   // ipostdom(A); every node visited is control dependent on A.
   for (BlockId A = 0; A < N; ++A) {
+    if (!FwdReachable[A] || !F.Blocks[A].hasTerminator())
+      continue;
     std::vector<BlockId> Succs = F.successors(A);
     if (Succs.size() < 2)
       continue; // Only branches create control dependences.

@@ -1,0 +1,126 @@
+//===- analysis/DataFlow.h - Reaching defs and def-use chains ---*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dataflow framework over the register IR: reaching definitions
+/// (classic gen/kill bitvector analysis), def-use chains built on top of
+/// them, and loop-carried scalar dependence detection for natural loops.
+///
+/// These feed the static loop-dependence analyzer (StaticDependence.h),
+/// which cross-checks the dynamic self-parallelism numbers HCPA measures:
+/// a dependence proven here holds on *every* input, not just the profiled
+/// one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_ANALYSIS_DATAFLOW_H
+#define KREMLIN_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Dominators.h"
+#include "analysis/Loops.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kremlin {
+
+/// One static definition of a virtual register.
+struct DefSite {
+  BlockId BB = NoBlock;
+  unsigned Idx = 0; ///< Instruction index within the block.
+  ValueId Value = NoValue;
+};
+
+/// One static read of a virtual register.
+struct UseSite {
+  BlockId BB = NoBlock;
+  unsigned Idx = 0;
+  ValueId Value = NoValue;
+};
+
+/// Register operands read by \p I (the Result is excluded). Covers every
+/// opcode: binary/unary operands, Load/Store addresses and values, call
+/// arguments, branch conditions, and return values.
+std::vector<ValueId> instructionUses(const Instruction &I);
+
+/// Reaching definitions for one function: for every program point, the set
+/// of definitions that may reach it. Definitions are numbered densely; the
+/// per-block IN/OUT sets are bitvectors over that numbering.
+class ReachingDefs {
+public:
+  explicit ReachingDefs(const Function &F);
+
+  /// All definition sites, in (block, index) order.
+  const std::vector<DefSite> &defs() const { return Defs; }
+
+  /// Indices into defs() of the definitions of \p V.
+  const std::vector<unsigned> &defsOf(ValueId V) const;
+
+  /// Definition indices reaching the entry of \p BB.
+  std::vector<unsigned> reachingIn(BlockId BB) const;
+
+  /// Definition indices reaching the exit of \p BB.
+  std::vector<unsigned> reachingOut(BlockId BB) const;
+
+  /// Definitions of \p V reaching the use at instruction \p Idx of \p BB
+  /// (block-local definitions upstream of \p Idx kill the incoming set).
+  std::vector<unsigned> reachingAtUse(BlockId BB, unsigned Idx,
+                                      ValueId V) const;
+
+  /// True when definition \p DefIdx is in the OUT set of \p BB.
+  bool defReachesOut(unsigned DefIdx, BlockId BB) const;
+
+private:
+  bool inBit(const std::vector<uint64_t> &Set, unsigned Bit) const {
+    return (Set[Bit / 64] >> (Bit % 64)) & 1;
+  }
+  std::vector<unsigned> expand(const std::vector<uint64_t> &Set) const;
+
+  const Function &F;
+  std::vector<DefSite> Defs;
+  std::vector<std::vector<unsigned>> DefsOfValue; ///< Indexed by ValueId.
+  unsigned Words = 0;
+  std::vector<std::vector<uint64_t>> In, Out;
+};
+
+/// Def-use chains: for every definition, the uses it may reach.
+struct DefUseChains {
+  /// Indexed by definition index (ReachingDefs::defs() order).
+  std::vector<std::vector<UseSite>> UsesOfDef;
+  /// Uses no definition reaches (parameters, reads of undefined locals).
+  std::vector<UseSite> UndefinedUses;
+};
+
+DefUseChains buildDefUseChains(const Function &F, const ReachingDefs &RD);
+
+/// A scalar dependence carried by a loop's back edge: a use that may read
+/// the value an in-loop definition produced in a *previous* iteration.
+struct ScalarCarriedDep {
+  ValueId Value = NoValue;
+  /// Representative in-loop definition feeding the next iteration.
+  DefSite Def;
+  /// In-loop use that may observe the previous iteration's value.
+  UseSite Use;
+  /// The dependence occurs on every consecutive iteration pair: both
+  /// endpoints execute each iteration and no same-iteration definition
+  /// can satisfy the use instead.
+  bool Certain = false;
+  /// Every carried source is an induction/reduction update, which HCPA's
+  /// shadow-memory rule ignores (paper §4.1) and a programmer can break
+  /// with privatization or a reduction clause.
+  bool Breakable = false;
+};
+
+/// Detects scalar dependences carried by \p L's back edges. \p DT must be
+/// the dominator tree of \p F (used for the Certain classification).
+std::vector<ScalarCarriedDep>
+findLoopCarriedScalarDeps(const Function &F, const Loop &L,
+                          const ReachingDefs &RD, const DomTree &DT);
+
+} // namespace kremlin
+
+#endif // KREMLIN_ANALYSIS_DATAFLOW_H

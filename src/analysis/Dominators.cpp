@@ -73,6 +73,8 @@ std::vector<BlockId>
 reversePostorder(size_t NumNodes, BlockId Root,
                  const std::vector<std::vector<BlockId>> &Succs) {
   std::vector<BlockId> Postorder;
+  if (NumNodes == 0 || Root >= NumNodes)
+    return Postorder;
   std::vector<char> State(NumNodes, 0); // 0 unvisited, 1 on stack, 2 done.
   // Iterative DFS.
   std::vector<std::pair<BlockId, size_t>> Stack;
@@ -100,9 +102,15 @@ reversePostorder(size_t NumNodes, BlockId Root,
 
 DomTree kremlin::computeDominators(const Function &F) {
   size_t N = F.Blocks.size();
+  if (N == 0)
+    return DomTree(); // Degenerate: no blocks, empty tree.
   std::vector<std::vector<BlockId>> Succs(N), Preds(N);
   for (BlockId BB = 0; BB < N; ++BB) {
+    if (!F.Blocks[BB].hasTerminator())
+      continue; // Tolerate unterminated blocks (pre-verifier IR).
     for (BlockId S : F.successors(BB)) {
+      if (S >= N)
+        continue;
       Succs[BB].push_back(S);
       Preds[S].push_back(BB);
     }
@@ -124,11 +132,14 @@ DomTree kremlin::computePostDominators(const Function &F) {
     RevPreds[To].push_back(From);
   };
   for (BlockId BB = 0; BB < N; ++BB) {
+    if (!F.Blocks[BB].hasTerminator())
+      continue; // Tolerate unterminated blocks (pre-verifier IR).
     const Instruction &Term = F.Blocks[BB].terminator();
     if (Term.Op == Opcode::Ret)
       AddEdge(VirtualExit, BB);
     for (BlockId S : F.successors(BB))
-      AddEdge(S, BB);
+      if (S < N)
+        AddEdge(S, BB);
   }
 
   std::vector<BlockId> Order = reversePostorder(Total, VirtualExit, RevSuccs);

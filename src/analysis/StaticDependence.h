@@ -1,0 +1,115 @@
+//===- analysis/StaticDependence.h - Loop dependence verdicts ---*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static loop-dependence analysis: classifies each natural loop (and the
+/// Loop region it lowers from) by running ZIV/SIV subscript tests on
+/// induction-indexed array accesses plus loop-carried scalar dependence
+/// detection (DataFlow.h).
+///
+/// Kremlin's self-parallelism is measured on one input; these verdicts are
+/// input-independent, so the planner can demote a loop HCPA happened to
+/// measure as parallel, and the driver can flag disagreements as
+/// input-sensitivity warnings:
+///
+///  - ProvablyDoall: no loop-carried flow dependence exists on any input
+///    (anti/output and induction/reduction dependences are "easy to break"
+///    per paper §4.1 and do not count).
+///  - ProvablySerial: a loop-carried dependence provably occurs on every
+///    iteration pair *and* its dependence cycle dominates the iteration's
+///    critical path, so no input can make the loop profitable.
+///  - Unknown: everything the subscript tests cannot decide (calls,
+///    indirect subscripts, nested loops, symbolic strides).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_ANALYSIS_STATICDEPENDENCE_H
+#define KREMLIN_ANALYSIS_STATICDEPENDENCE_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kremlin {
+
+/// Input-independent classification of one loop.
+enum class LoopVerdict : unsigned char {
+  Unknown = 0,
+  ProvablyDoall,
+  ProvablySerial,
+};
+
+/// Short lowercase name for tables and diagnostics.
+inline const char *loopVerdictName(LoopVerdict V) {
+  switch (V) {
+  case LoopVerdict::Unknown:
+    return "unknown";
+  case LoopVerdict::ProvablyDoall:
+    return "doall";
+  case LoopVerdict::ProvablySerial:
+    return "serial";
+  }
+  return "unknown";
+}
+
+/// Verdict for one natural loop, tied back to its static Loop region.
+struct StaticLoopResult {
+  /// The Loop region this natural loop lowers from (NoRegion when the CFG
+  /// loop has no region marker, e.g. hand-built IR).
+  RegionId Region = NoRegion;
+  FuncId Func = NoFunc;
+  BlockId Header = NoBlock;
+  LoopVerdict Verdict = LoopVerdict::Unknown;
+  /// One-line justification; for ProvablySerial, cites the blocking
+  /// dependence with source locations.
+  std::string Reason;
+  /// ProvablySerial: source line of the dependence source (the write) and
+  /// sink (the read in a later iteration); 0 when unavailable.
+  unsigned DepSrcLine = 0;
+  unsigned DepDstLine = 0;
+};
+
+/// Whole-module analysis output.
+struct StaticAnalysisResult {
+  std::vector<StaticLoopResult> Loops;
+  double WallMs = 0.0;
+  unsigned NumDoall = 0;
+  unsigned NumSerial = 0;
+  unsigned NumUnknown = 0;
+
+  /// The result for region \p R, or nullptr if \p R was not analyzed.
+  const StaticLoopResult *forRegion(RegionId R) const {
+    for (const StaticLoopResult &L : Loops)
+      if (L.Region == R && R != NoRegion)
+        return &L;
+    return nullptr;
+  }
+
+  /// Region -> verdict map in the shape PlannerOptions consumes.
+  std::map<RegionId, LoopVerdict> verdictMap() const {
+    std::map<RegionId, LoopVerdict> Map;
+    for (const StaticLoopResult &L : Loops)
+      if (L.Region != NoRegion)
+        Map.emplace(L.Region, L.Verdict);
+    return Map;
+  }
+};
+
+/// Analyzes every natural loop of \p F. Requires induction/reduction marks
+/// (run after instrumentModule); unmarked IR degrades to Unknown verdicts,
+/// never to unsound ones.
+std::vector<StaticLoopResult> analyzeFunctionDependence(const Module &M,
+                                                        const Function &F);
+
+/// Analyzes every function of \p M, updates the telemetry registry
+/// (static.loops_analyzed, static.verdict_*) and records wall time.
+StaticAnalysisResult analyzeModuleDependence(const Module &M);
+
+} // namespace kremlin
+
+#endif // KREMLIN_ANALYSIS_STATICDEPENDENCE_H

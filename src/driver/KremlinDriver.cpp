@@ -122,20 +122,17 @@ void flushExecutionTelemetry(const KremlinRuntime &RT,
 
 } // namespace
 
-DriverResult KremlinDriver::runOnSource(std::string_view Source,
-                                        std::string Name) {
-  DriverResult Result;
-  Result.SourceName = Name;
-
+bool KremlinDriver::runFrontend(DriverResult &Result,
+                                std::string_view Source) {
   ParseResult PR;
   {
     StageScope Stage(Result, "parse");
-    Stage.span().arg("source", Name);
+    Stage.span().arg("source", Result.SourceName);
     if (stageFaultTripped(Result, "parse")) {
       Result.M = std::make_unique<Module>();
-      return Result;
+      return false;
     }
-    PR = parseMiniC(Source, std::move(Name));
+    PR = parseMiniC(Source, Result.SourceName);
   }
   if (!PR.succeeded()) {
     // Parse diagnostics already carry file:line:col; keep every line and
@@ -145,14 +142,14 @@ DriverResult KremlinDriver::runOnSource(std::string_view Source,
                      .withInput(Result.SourceName);
     Result.Errors = std::move(PR.Errors);
     Result.M = std::make_unique<Module>();
-    return Result;
+    return false;
   }
 
   {
     StageScope Stage(Result, "lower");
     if (stageFaultTripped(Result, "lower")) {
       Result.M = std::make_unique<Module>();
-      return Result;
+      return false;
     }
     LowerResult LR = lowerProgram(PR.Program);
     Result.M = std::move(LR.M);
@@ -161,11 +158,27 @@ DriverResult KremlinDriver::runOnSource(std::string_view Source,
                        .withStage("lower")
                        .withInput(Result.SourceName);
       Result.Errors = std::move(LR.Errors);
-      return Result;
+      return false;
     }
   }
+  return true;
+}
 
-  runPipeline(Result);
+DriverResult KremlinDriver::runOnSource(std::string_view Source,
+                                        std::string Name) {
+  DriverResult Result;
+  Result.SourceName = std::move(Name);
+  if (runFrontend(Result, Source))
+    runPipeline(Result);
+  return Result;
+}
+
+DriverResult KremlinDriver::lintSource(std::string_view Source,
+                                       std::string Name) {
+  DriverResult Result;
+  Result.SourceName = std::move(Name);
+  if (runFrontend(Result, Source))
+    runStaticStages(Result, /*ForceAnalysis=*/true);
   return Result;
 }
 
@@ -180,11 +193,12 @@ DriverResult KremlinDriver::runOnModule(std::unique_ptr<Module> M,
   return Result;
 }
 
-void KremlinDriver::runPipeline(DriverResult &Result) {
+bool KremlinDriver::runStaticStages(DriverResult &Result,
+                                    bool ForceAnalysis) {
   {
     StageScope Stage(Result, "verify");
     if (stageFaultTripped(Result, "verify"))
-      return;
+      return false;
     std::vector<std::string> Problems = verifyModule(*Result.M);
     if (!Problems.empty()) {
       Result.Err =
@@ -193,7 +207,7 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
               .withInput(Result.SourceName);
       for (std::string &P : Problems)
         Result.Errors.push_back("verifier: " + std::move(P));
-      return;
+      return false;
     }
   }
 
@@ -201,9 +215,32 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
   {
     StageScope Stage(Result, "instrument");
     if (stageFaultTripped(Result, "instrument"))
-      return;
-    Result.Instrument = instrumentModule(*Result.M);
+      return false;
+    InstrumentOptions IO;
+    IO.VerifyAfterEachPass = Opts.VerifyIR;
+    Result.Instrument = instrumentModule(*Result.M, IO);
+    for (const std::string &W : Result.Instrument.Warnings)
+      Result.Warnings.push_back("instrument: " + W);
+    if (!Result.Instrument.Err.ok()) {
+      failStage(Result, "instrument", Result.Instrument.Err);
+      return false;
+    }
   }
+
+  // Static loop-dependence analysis (lint / plan annotation).
+  if (Opts.StaticAnalysis || ForceAnalysis) {
+    StageScope Stage(Result, "analyze");
+    if (stageFaultTripped(Result, "analyze"))
+      return false;
+    Result.Static = analyzeModuleDependence(*Result.M);
+    Stage.span().arg("loops", std::to_string(Result.Static.Loops.size()));
+  }
+  return true;
+}
+
+void KremlinDriver::runPipeline(DriverResult &Result) {
+  if (!runStaticStages(Result, /*ForceAnalysis=*/false))
+    return;
 
   // Profiled execution (the instrumented binary + KremLib).
   Result.Dict = std::make_unique<DictionaryCompressor>();
@@ -251,7 +288,40 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
                                   "'"));
       return;
     }
-    Result.ThePlan = P->plan(*Result.Profile, Opts.Planner);
+    PlannerOptions PO = Opts.Planner;
+    PO.StaticVerdicts = Result.Static.verdictMap();
+    Result.ThePlan = P->plan(*Result.Profile, PO);
+  }
+
+  // Static-vs-dynamic cross-check: a disagreement means the measured
+  // parallelism is an artifact of this input (input sensitivity, §6), not
+  // a property of the loop — surface it instead of silently trusting
+  // either side.
+  for (const StaticLoopResult &L : Result.Static.Loops) {
+    if (L.Region == NoRegion || L.Verdict == LoopVerdict::Unknown)
+      continue;
+    const RegionProfileEntry &E = Result.Profile->entry(L.Region);
+    if (!E.Executed || E.avgIterations() < 4.0)
+      continue;
+    std::string Msg;
+    if (L.Verdict == LoopVerdict::ProvablySerial && E.SelfParallelism >= 4.0)
+      Msg = formatString(
+          "%s: measured self-parallelism %.1f but a loop-carried dependence "
+          "is proven (%s); the parallelism is an artifact of this input",
+          Result.M->Regions[L.Region].sourceSpan().c_str(), E.SelfParallelism,
+          L.Reason.c_str());
+    else if (L.Verdict == LoopVerdict::ProvablyDoall &&
+             E.SelfParallelism < 1.5)
+      Msg = formatString(
+          "%s: provably DOALL (%s) but measured self-parallelism is only "
+          "%.1f; this input may serialize the loop artificially",
+          Result.M->Regions[L.Region].sourceSpan().c_str(), L.Reason.c_str(),
+          E.SelfParallelism);
+    if (Msg.empty())
+      continue;
+    telemetry::Registry::global().counter("static.disagreements").add();
+    telemetry::logWarn("static", Msg);
+    Result.Warnings.push_back("input-sensitivity: " + std::move(Msg));
   }
 
   double TotalMs = 0.0;

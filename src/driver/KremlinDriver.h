@@ -19,6 +19,7 @@
 #ifndef KREMLIN_DRIVER_KREMLINDRIVER_H
 #define KREMLIN_DRIVER_KREMLINDRIVER_H
 
+#include "analysis/StaticDependence.h"
 #include "compress/Dictionary.h"
 #include "instrument/Instrumenter.h"
 #include "interp/Interpreter.h"
@@ -42,6 +43,16 @@ struct DriverOptions {
   PlannerOptions Planner;
   /// "openmp", "cilk", "work", or "selfp".
   std::string PersonalityName = "openmp";
+  /// Run the static loop-dependence analyzer after instrumentation; its
+  /// verdicts annotate the plan and demote provably serial regions.
+  bool StaticAnalysis = true;
+  /// Re-verify the IR after each instrumentation pass (--verify-ir).
+  /// Defaults on in Debug builds, off in Release.
+#ifdef NDEBUG
+  bool VerifyIR = false;
+#else
+  bool VerifyIR = true;
+#endif
 };
 
 /// Everything one pipeline run produces. Check succeeded() before using
@@ -56,10 +67,15 @@ struct DriverResult {
   std::string SourceName;
   std::unique_ptr<Module> M;
   InstrumentResult Instrument;
+  /// Static loop-dependence verdicts (empty when StaticAnalysis is off).
+  StaticAnalysisResult Static;
   ExecResult Exec;
   std::unique_ptr<DictionaryCompressor> Dict;
   std::unique_ptr<ParallelismProfile> Profile;
   Plan ThePlan;
+  /// Non-fatal diagnostics: instrumentation inconsistencies and
+  /// static-vs-dynamic disagreements (input-sensitivity warnings).
+  std::vector<std::string> Warnings;
 
   /// Wall-clock milliseconds per Figure-4 stage, in execution order
   /// (parse, lower, verify, instrument, execute, compress, plan). Stages
@@ -89,6 +105,11 @@ public:
   /// \p Name labels the input in error context.
   DriverResult runOnModule(std::unique_ptr<Module> M, std::string Name = "");
 
+  /// Static-only pipeline (`kremlin lint`): parse -> lower -> verify ->
+  /// instrument -> analyze. Never executes the program; the result's
+  /// Static field carries the loop-dependence verdicts.
+  DriverResult lintSource(std::string_view Source, std::string Name);
+
   /// Re-plans an existing result under different planner settings (the
   /// exclusion-list workflow: no re-profiling needed). Returns the new
   /// plan.
@@ -96,9 +117,19 @@ public:
               const std::string &PersonalityName = "") const;
 
 private:
+  /// Frontend stages (parse -> lower) shared by runOnSource/lintSource.
+  /// Returns false when a stage failed (Result carries the diagnostics).
+  bool runFrontend(DriverResult &Result, std::string_view Source);
+
+  /// Static stages (verify -> instrument -> analyze) shared by the full
+  /// pipeline and lintSource. \p ForceAnalysis runs the dependence
+  /// analyzer even when Opts.StaticAnalysis is off (lint mode). Returns
+  /// false when a stage failed.
+  bool runStaticStages(DriverResult &Result, bool ForceAnalysis);
+
   /// Stages shared by runOnSource/runOnModule: verify -> instrument ->
-  /// execute -> compress -> plan, recording spans and stage timings into
-  /// \p Result (which already owns the module).
+  /// analyze -> execute -> compress -> plan, recording spans and stage
+  /// timings into \p Result (which already owns the module).
   void runPipeline(DriverResult &Result);
 
   DriverOptions Opts;

@@ -13,6 +13,8 @@
 //   kremlin --bench=ft                             run a suite benchmark
 //   kremlin prog.c --trace-out=trace.json          Chrome trace of the run
 //   kremlin stats prog.c                           telemetry registry table
+//   kremlin lint prog.c                            static loop-dependence
+//                                                  verdicts, no execution
 //
 // plus the regression harness (also built as the `kremlin-bench` binary):
 //
@@ -50,8 +52,8 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: kremlin [stats] (<source.c> | --bench=<name> | --tracking) "
-      "[options]\n"
+      "usage: kremlin [stats|lint] (<source.c> | --bench=<name> | "
+      "--tracking) [options]\n"
       "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
       "  --min-sp=<f>                             self-parallelism cutoff\n"
@@ -71,6 +73,13 @@ void printUsage() {
       "                                           registry as metrics JSON\n"
       "  --dump-ir                                print instrumented IR\n"
       "  --stats                                  runtime/compression stats\n"
+      "  --verify-ir / --no-verify-ir             re-verify the IR after\n"
+      "                                           each instrumentation pass\n"
+      "                                           (default: on in Debug)\n"
+      "  --no-static-analysis                     skip the static loop-\n"
+      "                                           dependence analyzer\n"
+      "The `lint` subcommand runs frontend + static passes only (no\n"
+      "execution) and prints per-loop dependence verdicts.\n"
       "The `stats` subcommand runs the same pipeline and renders the\n"
       "telemetry registry as a table instead of the plan;\n"
       "`kremlin stats --diff <a.json> <b.json>` compares two metrics files.\n"
@@ -293,11 +302,15 @@ int main(int argc, char **argv) {
     return benchMain(std::vector<std::string>(argv + 2, argv + argc));
 
   // `kremlin stats ...` runs the same pipeline but renders the telemetry
-  // registry instead of the plan.
-  bool StatsMode = false;
+  // registry instead of the plan. `kremlin lint ...` runs only the static
+  // half (no execution) and renders per-loop dependence verdicts.
+  bool StatsMode = false, LintMode = false;
   int ArgStart = 1;
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     StatsMode = true;
+    ArgStart = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+    LintMode = true;
     ArgStart = 2;
   }
 
@@ -359,6 +372,12 @@ int main(int argc, char **argv) {
       MetricsOut = Value();
     } else if (Arg == "--profile") {
       DumpProfile = true;
+    } else if (Arg == "--verify-ir") {
+      Opts.VerifyIR = true;
+    } else if (Arg == "--no-verify-ir") {
+      Opts.VerifyIR = false;
+    } else if (Arg == "--no-static-analysis") {
+      Opts.StaticAnalysis = false;
     } else if (Arg == "--dump-ir") {
       DumpIR = true;
     } else if (Arg == "--stats") {
@@ -441,6 +460,40 @@ int main(int argc, char **argv) {
 
   if (!TraceOut.empty())
     tel::setTraceEnabled(true);
+
+  // `kremlin lint`: frontend + static passes only; never executes the
+  // program. The verdicts are advisory, so a clean run exits 0 even when
+  // serial loops were found; only pipeline errors exit nonzero.
+  if (LintMode) {
+    KremlinDriver Driver(Opts);
+    DriverResult Result = Driver.lintSource(Source, SourceName);
+    for (const std::string &E : Result.Errors)
+      tel::logError("cli", E);
+    if (!Result.succeeded())
+      return 1;
+    for (const std::string &W : Result.Warnings)
+      tel::logWarn("cli", W);
+    TablePrinter Table;
+    Table.setHeader({"#", "File (lines)", "Verdict", "Detail"});
+    size_t RowIdx = 0;
+    for (const StaticLoopResult &L : Result.Static.Loops) {
+      std::string Where =
+          L.Region != NoRegion ? Result.M->Regions[L.Region].sourceSpan()
+          : L.Func != NoFunc   ? Result.M->Functions[L.Func].Name
+                               : "?";
+      Table.addRow({std::to_string(++RowIdx), Where,
+                    loopVerdictName(L.Verdict), L.Reason});
+    }
+    std::fputs(Table.render().c_str(), stdout);
+    std::printf("lint: %zu loop(s) analyzed -- %u doall, %u serial, "
+                "%u unknown (%.1f ms)\n",
+                Result.Static.Loops.size(), Result.Static.NumDoall,
+                Result.Static.NumSerial, Result.Static.NumUnknown,
+                Result.Static.WallMs);
+    if (!writeTelemetryOutputs(TraceOut, MetricsOut))
+      return 1;
+    return 0;
+  }
 
   if (DumpIR) {
     LowerResult LR = compileMiniC(Source, SourceName);

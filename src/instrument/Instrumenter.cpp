@@ -5,19 +5,23 @@
 #include "analysis/ControlDependence.h"
 #include "analysis/Induction.h"
 #include "analysis/Loops.h"
+#include "ir/Verifier.h"
 #include "support/StringUtils.h"
 
 using namespace kremlin;
 
-InstrumentResult kremlin::instrumentModule(Module &M) {
-  InstrumentResult Result;
+namespace {
+
+/// Pass 1: compute control-dependence merge blocks for every CondBr,
+/// validating any value the structured frontend filled in.
+void runControlDependencePass(Module &M, InstrumentResult &Result) {
   for (Function &F : M.Functions) {
     if (F.Blocks.empty())
       continue;
-
-    // Control-dependence merge blocks.
     ControlDependenceInfo CDI = computeControlDependence(F);
     for (BlockId BB = 0; BB < F.Blocks.size(); ++BB) {
+      if (!F.Blocks[BB].hasTerminator())
+        continue;
       Instruction &Term = F.Blocks[BB].Insts.back();
       if (Term.Op != Opcode::CondBr)
         continue;
@@ -33,16 +37,22 @@ InstrumentResult kremlin::instrumentModule(Module &M) {
         Term.MergeBlock = Computed;
       }
     }
+  }
+}
 
-    // Induction / reduction marking.
+/// Pass 2: mark induction/reduction updates and attribute reductions to
+/// their innermost enclosing Loop region so the planner can charge
+/// reduction overhead.
+void runInductionMarkingPass(Module &M, InstrumentResult &Result) {
+  for (Function &F : M.Functions) {
+    if (F.Blocks.empty())
+      continue;
     LoopInfo LI = computeLoops(F);
     InductionMarkResult IMR = markInductionAndReductions(F, LI);
     Result.NumInductionUpdates += IMR.NumInductionUpdates;
     Result.NumReductionUpdates += IMR.NumReductionUpdates;
     Result.NumMemoryReductions += IMR.NumMemoryReductions;
 
-    // Attribute reduction updates to their innermost enclosing Loop region
-    // so the planner can charge reduction overhead.
     for (const BasicBlock &BB : F.Blocks) {
       for (const Instruction &I : BB.Insts) {
         if (!I.IsReductionUpdate)
@@ -55,5 +65,37 @@ InstrumentResult kremlin::instrumentModule(Module &M) {
       }
     }
   }
+}
+
+} // namespace
+
+InstrumentResult kremlin::instrumentModule(Module &M,
+                                           const InstrumentOptions &Opts) {
+  InstrumentResult Result;
+
+  // Each pass mutates the whole module, then (under --verify-ir) the
+  // verifier re-checks it so a corrupting pass is caught at the pass
+  // boundary instead of as a mystery crash in the interpreter.
+  auto Verify = [&](const char *Pass) {
+    if (!Opts.VerifyAfterEachPass)
+      return true;
+    std::vector<std::string> Problems = verifyModule(M);
+    if (Problems.empty())
+      return true;
+    Result.Err = Status::error(
+        ErrorCode::Internal,
+        formatString("IR verification failed after pass '%s': %s", Pass,
+                     Problems.front().c_str()));
+    return false;
+  };
+
+  runControlDependencePass(M, Result);
+  if (!Verify("control-dependence"))
+    return Result;
+
+  runInductionMarkingPass(M, Result);
+  if (!Verify("induction-marking"))
+    return Result;
+
   return Result;
 }

@@ -26,11 +26,21 @@
 #define KREMLIN_INSTRUMENT_INSTRUMENTER_H
 
 #include "ir/Module.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
 
 namespace kremlin {
+
+/// Knobs for the instrumentation pipeline.
+struct InstrumentOptions {
+  /// Re-run the IR verifier after each IR-mutating pass and fail with a
+  /// structured error naming the offending pass. Cheap insurance against a
+  /// pass corrupting the module; the driver enables it by default in Debug
+  /// builds (--verify-ir / --no-verify-ir override).
+  bool VerifyAfterEachPass = false;
+};
 
 /// Summary of one instrumentation run.
 struct InstrumentResult {
@@ -41,10 +51,13 @@ struct InstrumentResult {
   /// Diagnostics for inconsistencies (frontend merge block differing from
   /// the post-dominator analysis). Empty on a clean run.
   std::vector<std::string> Warnings;
+  /// Set when VerifyAfterEachPass catches a broken module; names the pass
+  /// that corrupted it. Default-constructed Status is ok.
+  Status Err;
 };
 
 /// Instruments \p M in place. Must run after lowering and before profiling.
-InstrumentResult instrumentModule(Module &M);
+InstrumentResult instrumentModule(Module &M, const InstrumentOptions &Opts = {});
 
 } // namespace kremlin
 

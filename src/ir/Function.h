@@ -30,10 +30,16 @@ struct BasicBlock {
   std::string Name;
   std::vector<Instruction> Insts;
 
+  /// True when the block ends in Br/CondBr/Ret. Analyses that must stay
+  /// robust on pre-verifier IR (empty or unterminated blocks) check this
+  /// before calling terminator()/successors().
+  bool hasTerminator() const {
+    return !Insts.empty() && isTerminator(Insts.back().Op);
+  }
+
   /// Returns the terminator, which must exist in a verified function.
   const Instruction &terminator() const {
-    assert(!Insts.empty() && isTerminator(Insts.back().Op) &&
-           "block has no terminator");
+    assert(hasTerminator() && "block has no terminator");
     return Insts.back();
   }
 };

@@ -16,6 +16,13 @@ namespace {
 /// the registry, plus — when a trace sink is configured — an instant event
 /// carrying the region id and the reason, so a trace shows *why* each
 /// region made or missed the plan.
+/// The static loop-dependence verdict for \p R, Unknown when the analyzer
+/// did not run or produced nothing for this region.
+LoopVerdict staticVerdictOf(const PlannerOptions &Opts, RegionId R) {
+  auto It = Opts.StaticVerdicts.find(R);
+  return It == Opts.StaticVerdicts.end() ? LoopVerdict::Unknown : It->second;
+}
+
 void planDecision(RegionId R, bool Accepted, const char *Reason) {
   static telemetry::Counter &AcceptedC =
       telemetry::Registry::global().counter("planner.accepted");
@@ -46,9 +53,13 @@ PlanItem kremlin::makePlanItem(const ParallelismProfile &Profile,
   return Item;
 }
 
-/// Sorts items by decreasing gain and computes the combined Amdahl speedup
-/// (valid when the selected regions are disjoint along every path).
-static Plan finishPlan(std::string Name, std::vector<PlanItem> Items) {
+/// Sorts items by decreasing gain, annotates each with its static verdict,
+/// and computes the combined Amdahl speedup (valid when the selected
+/// regions are disjoint along every path).
+static Plan finishPlan(std::string Name, std::vector<PlanItem> Items,
+                       const PlannerOptions &Opts) {
+  for (PlanItem &I : Items)
+    I.Static = staticVerdictOf(Opts, I.Region);
   std::sort(Items.begin(), Items.end(),
             [](const PlanItem &A, const PlanItem &B) {
               if (A.GainFrac != B.GainFrac)
@@ -82,8 +93,8 @@ public:
   /// from a selection. Suboptimal when a parent's single gain beats each
   /// child but not their sum (ft/lu).
   template <typename EligibleFn>
-  Plan planGreedy(const ParallelismProfile &Profile,
-                  const PlanningTree &Tree, EligibleFn Eligible) const {
+  Plan planGreedy(const ParallelismProfile &Profile, const PlanningTree &Tree,
+                  const PlannerOptions &Opts, EligibleFn Eligible) const {
     std::vector<PlanItem> Candidates;
     for (RegionId R : Tree.preorder())
       if (Eligible(R))
@@ -109,7 +120,7 @@ public:
     for (const PlanItem &C : Candidates)
       if (!OnPathToSelection(C.Region))
         Items.push_back(C);
-    return finishPlan("openmp-greedy", std::move(Items));
+    return finishPlan("openmp-greedy", std::move(Items), Opts);
   }
 
   Plan plan(const ParallelismProfile &Profile,
@@ -122,6 +133,13 @@ public:
     auto Eligible = [&](RegionId R) {
       if (Opts.Excluded.count(R)) {
         planDecision(R, false, "excluded");
+        return false;
+      }
+      // A statically proven loop-carried dependence overrides whatever the
+      // dynamic profile measured on this input: recommending the region
+      // would send the programmer at a loop that cannot be parallelized.
+      if (staticVerdictOf(Opts, R) == LoopVerdict::ProvablySerial) {
+        planDecision(R, false, "provably-serial");
         return false;
       }
       const StaticRegion &SR = M.Regions[R];
@@ -155,7 +173,7 @@ public:
     };
 
     if (Opts.Greedy)
-      return planGreedy(Profile, Tree, Eligible);
+      return planGreedy(Profile, Tree, Opts, Eligible);
 
     // Bottom-up DP over the tree: best(R) = max(gain(R) if eligible,
     // sum(best(children))). Because Preorder lists parents before
@@ -191,7 +209,7 @@ public:
       for (RegionId C : Tree.children(R))
         Stack.push_back(C);
     }
-    return finishPlan(name(), std::move(Items));
+    return finishPlan(name(), std::move(Items), Opts);
   }
 };
 
@@ -217,6 +235,10 @@ public:
         continue;
       if (Opts.Excluded.count(R)) {
         planDecision(R, false, "excluded");
+        continue;
+      }
+      if (staticVerdictOf(Opts, R) == LoopVerdict::ProvablySerial) {
+        planDecision(R, false, "provably-serial");
         continue;
       }
       const RegionProfileEntry &E = Profile.entry(R);
@@ -246,7 +268,7 @@ public:
       Items.push_back(Item);
     }
     (void)M;
-    return finishPlan(name(), std::move(Items));
+    return finishPlan(name(), std::move(Items), Opts);
   }
 };
 
@@ -272,7 +294,8 @@ public:
       Item.GainFrac = E.CoveragePct / 100.0;
       Items.push_back(Item);
     }
-    return finishPlan(name(), std::move(Items));
+    // gprof-style baseline: deliberately ignores the static verdicts too.
+    return finishPlan(name(), std::move(Items), Opts);
   }
 };
 
@@ -293,9 +316,11 @@ public:
         continue;
       if (E.SelfParallelism < Opts.MinSelfParallelism)
         continue;
+      if (staticVerdictOf(Opts, E.Id) == LoopVerdict::ProvablySerial)
+        continue;
       Items.push_back(makePlanItem(Profile, E.Id));
     }
-    return finishPlan(name(), std::move(Items));
+    return finishPlan(name(), std::move(Items), Opts);
   }
 };
 
@@ -332,15 +357,17 @@ std::string kremlin::printPlan(const Module &M, const Plan &P,
   std::string Out = formatString(
       "Parallelism plan (personality=%s, est. program speedup %.2fx)\n",
       P.Personality.c_str(), P.EstProgramSpeedup);
-  Out += formatString("%-4s %-28s %9s %9s %10s\n", "#", "File (lines)",
-                      "Self-P", "Cov (%)", "Type");
+  Out += formatString("%-4s %-28s %9s %9s %10s %8s\n", "#", "File (lines)",
+                      "Self-P", "Cov (%)", "Type", "Static");
   size_t Rows = std::min(MaxRows, P.Items.size());
   for (size_t I = 0; I < Rows; ++I) {
     const PlanItem &Item = P.Items[I];
     const StaticRegion &R = M.Regions[Item.Region];
-    Out += formatString("%-4zu %-28s %9.1f %9.2f %10s\n", I + 1,
-                        R.sourceSpan().c_str(), Item.SelfP, Item.CoveragePct,
-                        loopClassName(Item.Class));
+    Out += formatString(
+        "%-4zu %-28s %9.1f %9.2f %10s %8s\n", I + 1, R.sourceSpan().c_str(),
+        Item.SelfP, Item.CoveragePct, loopClassName(Item.Class),
+        Item.Static == LoopVerdict::Unknown ? "-"
+                                            : loopVerdictName(Item.Static));
   }
   if (P.Items.size() > Rows)
     Out += formatString("... (%zu more)\n", P.Items.size() - Rows);

@@ -27,10 +27,12 @@
 #ifndef KREMLIN_PLANNER_PERSONALITY_H
 #define KREMLIN_PLANNER_PERSONALITY_H
 
+#include "analysis/StaticDependence.h"
 #include "planner/Plan.h"
 #include "planner/RegionTree.h"
 #include "profile/ParallelismProfile.h"
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -60,6 +62,10 @@ struct PlannerOptions {
   /// greedy algorithm §5.1 describes (repeatedly select the region with
   /// the largest potential speedup, excluding its ancestors/descendants).
   bool Greedy = false;
+  /// Static loop-dependence verdicts by region (from the lint/analyze
+  /// stage). ProvablySerial regions are demoted by parallelism-aware
+  /// personalities; other verdicts annotate plan items for the UI.
+  std::map<RegionId, LoopVerdict> StaticVerdicts;
 };
 
 /// A planning strategy. Stateless; plan() may be called repeatedly.

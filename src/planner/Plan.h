@@ -15,6 +15,7 @@
 #ifndef KREMLIN_PLANNER_PLAN_H
 #define KREMLIN_PLANNER_PLAN_H
 
+#include "analysis/StaticDependence.h"
 #include "ir/Module.h"
 #include "profile/ParallelismProfile.h"
 
@@ -29,6 +30,9 @@ struct PlanItem {
   double SelfP = 1.0;
   double CoveragePct = 0.0;
   LoopClass Class = LoopClass::NotLoop;
+  /// Static loop-dependence verdict for the region (Unknown when the
+  /// analyzer did not run or could not prove anything).
+  LoopVerdict Static = LoopVerdict::Unknown;
   /// Fraction of whole-program serial time removed by parallelizing this
   /// region ideally: coverage * (1 - 1/SP).
   double GainFrac = 0.0;

@@ -378,4 +378,106 @@ TEST(Induction, ReductionFlagPropagatesToLoopRegion) {
   EXPECT_TRUE(LoopHasReduction);
 }
 
+// --- Degenerate CFGs --------------------------------------------------------
+//
+// Analyses run on pre-verifier IR (--dump-ir, hand-built modules, fuzzed
+// inputs), so they must tolerate shapes the verifier would reject: no
+// blocks at all, unterminated blocks, self-loops, unreachable branches.
+
+TEST(Dominators, EmptyFunction) {
+  Function F;
+  F.Name = "empty";
+  DomTree DT = computeDominators(F);
+  EXPECT_TRUE(DT.IDom.empty());
+  DomTree PDT = computePostDominators(F);
+  // Only the virtual exit exists.
+  EXPECT_EQ(PDT.IDom.size(), 1u);
+}
+
+TEST(Dominators, SingleBlockSelfLoop) {
+  Module M;
+  Function F;
+  F.Name = "spin";
+  F.ReturnTy = Type::Void;
+  FuncId Id = M.addFunction(std::move(F));
+  IRBuilder B(M, M.Functions[Id]);
+  BlockId B0 = B.createBlock("entry");
+  B.setInsertPoint(B0);
+  ValueId C = B.emitConstInt(1);
+  B.emitCondBr(C, B0, B0); // Both edges loop back to the entry.
+  const Function &Fn = M.Functions[Id];
+  DomTree DT = computeDominators(Fn);
+  EXPECT_TRUE(DT.dominates(B0, B0));
+  // No Ret exists, so nothing post-dominates from the virtual exit; the
+  // computation must still terminate without touching out-of-range ids.
+  DomTree PDT = computePostDominators(Fn);
+  EXPECT_FALSE(PDT.isReachable(B0));
+  ControlDependenceInfo CDI = computeControlDependence(Fn);
+  EXPECT_EQ(CDI.Deps.size(), 1u);
+}
+
+TEST(Dominators, UnterminatedBlockTolerated) {
+  Module M;
+  Function F;
+  F.Name = "cut";
+  F.ReturnTy = Type::Void;
+  FuncId Id = M.addFunction(std::move(F));
+  IRBuilder B(M, M.Functions[Id]);
+  BlockId B0 = B.createBlock("entry");
+  BlockId B1 = B.createBlock("tail");
+  B.setInsertPoint(B0);
+  B.emitBr(B1);
+  // B1 deliberately left without a terminator (pre-verifier IR).
+  const Function &Fn = M.Functions[Id];
+  EXPECT_FALSE(Fn.Blocks[B1].hasTerminator());
+  DomTree DT = computeDominators(Fn);
+  EXPECT_EQ(DT.idom(B1), B0);
+  DomTree PDT = computePostDominators(Fn);
+  EXPECT_FALSE(PDT.isReachable(B0));
+  ControlDependenceInfo CDI = computeControlDependence(Fn);
+  EXPECT_EQ(CDI.Deps.size(), 2u);
+}
+
+TEST(ControlDependence, UnreachableBranchAddsNoDeps) {
+  // A CondBr in a block unreachable from the entry must not make live
+  // blocks control dependent on dead code.
+  Module M;
+  Function F;
+  F.Name = "deadbr";
+  F.ReturnTy = Type::Void;
+  FuncId Id = M.addFunction(std::move(F));
+  IRBuilder B(M, M.Functions[Id]);
+  BlockId B0 = B.createBlock("entry");
+  BlockId Live = B.createBlock("live");
+  BlockId Dead = B.createBlock("dead");
+  B.setInsertPoint(B0);
+  B.emitBr(Live);
+  B.setInsertPoint(Live);
+  B.emitRet();
+  B.setInsertPoint(Dead);
+  ValueId C = B.emitConstInt(0);
+  B.emitCondBr(C, Live, B0);
+  const Function &Fn = M.Functions[Id];
+  ControlDependenceInfo CDI = computeControlDependence(Fn);
+  for (BlockId BB = 0; BB < Fn.Blocks.size(); ++BB)
+    EXPECT_FALSE(CDI.isControlDependent(BB, Dead)) << "bb" << BB;
+}
+
+TEST(ControlDependence, UnreachableEmptyBlockDoesNotCrash) {
+  Module M;
+  Function F;
+  F.Name = "deadempty";
+  F.ReturnTy = Type::Void;
+  FuncId Id = M.addFunction(std::move(F));
+  IRBuilder B(M, M.Functions[Id]);
+  BlockId B0 = B.createBlock("entry");
+  B.createBlock("dead"); // Never gets any instructions.
+  B.setInsertPoint(B0);
+  B.emitRet();
+  const Function &Fn = M.Functions[Id];
+  ControlDependenceInfo CDI = computeControlDependence(Fn);
+  EXPECT_EQ(CDI.Deps.size(), 2u);
+  EXPECT_EQ(CDI.MergeBlock[0], NoBlock);
+}
+
 } // namespace

@@ -81,6 +81,46 @@ TEST(Cli, SourceFileAndDumpIr) {
   std::remove(SrcPath.c_str());
 }
 
+TEST(Cli, LintReportsSerialLoopWithSourceLocation) {
+  std::string SrcPath = scratchPath("cli_lint.c");
+  {
+    std::ofstream Src(SrcPath);
+    Src << "int a[64];\n"
+           "int main() {\n"
+           "  a[0] = 1;\n"
+           "  for (int i = 0; i < 63; i = i + 1) { a[i + 1] = a[i] + 1; }\n"
+           "  return a[63];\n"
+           "}\n";
+  }
+  int Code = 0;
+  std::string Out = runTool("lint " + SrcPath, Code);
+  EXPECT_EQ(Code, 0); // Verdicts are advisory; only errors exit nonzero.
+  EXPECT_NE(Out.find("serial"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("line 4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("1 serial"), std::string::npos) << Out;
+  // lint never executes: the plan header must not appear.
+  EXPECT_EQ(Out.find("Parallelism plan"), std::string::npos) << Out;
+
+  // A broken source still fails loudly.
+  {
+    std::ofstream Src(SrcPath);
+    Src << "int main() { return 0 }\n";
+  }
+  runTool("lint " + SrcPath, Code);
+  EXPECT_NE(Code, 0);
+  std::remove(SrcPath.c_str());
+}
+
+TEST(Cli, LintDemoExampleMatchesItsComment) {
+  // The shipped example must keep demonstrating one serial and one doall
+  // loop (its header comment documents exactly that).
+  int Code = 0;
+  std::string Out = runTool(
+      "lint " KREMLIN_EXAMPLES_DIR "/minic/lint_demo.c", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("1 doall, 1 serial"), std::string::npos) << Out;
+}
+
 TEST(Cli, SaveTrace) {
   std::string TracePath = scratchPath("cli_trace.txt");
   int Code = 0;

@@ -11,6 +11,7 @@
 
 #include "TestUtil.h"
 
+#include "analysis/StaticDependence.h"
 #include "planner/Personality.h"
 #include "planner/RegionTree.h"
 #include "support/Prng.h"
@@ -29,6 +30,8 @@ public:
   explicit RandomProgram(uint64_t Seed) : Rng(Seed) {
     Src += "int mem[64];\n";
     Src += "int aux[32];\n";
+    Src += "int par[16];\n"; // Touched only by generated DOALL loops.
+    Src += "int ser[4];\n";  // Touched only by generated serial loops.
     unsigned NumFuncs = 1 + Rng.nextBelow(3);
     for (unsigned F = 0; F < NumFuncs; ++F) {
       std::string Name = formatString("fn%u", F);
@@ -54,7 +57,7 @@ private:
   void indent(unsigned Depth) { Src.append(2 * Depth + 2, ' '); }
 
   void emitStmt(unsigned Depth, unsigned CanCall) {
-    switch (Rng.nextBelow(Depth >= 3 ? 4 : 6)) {
+    switch (Rng.nextBelow(Depth >= 3 ? 4 : 8)) {
     case 0: // Scalar update chain.
       indent(Depth);
       Src += formatString("v = v * %llu + %llu;\n",
@@ -97,7 +100,7 @@ private:
       Src += "}\n";
       break;
     }
-    default: { // Counted loop.
+    case 5: { // Counted loop.
       unsigned Id = LoopCounter++;
       unsigned Iters = 2 + Rng.nextBelow(12);
       indent(Depth);
@@ -108,6 +111,31 @@ private:
       Src += formatString("aux[i%u %% 32] = aux[i%u %% 32] + v %% 17;\n",
                           Id, Id);
       emitBlock(1 + Rng.nextBelow(2), Depth + 1, CanCall);
+      indent(Depth);
+      Src += "}\n";
+      break;
+    }
+    case 6: { // Provably DOALL loop: distinct par[] cell per iteration.
+      unsigned Id = LoopCounter++;
+      unsigned Iters = 4 + Rng.nextBelow(13); // <= 16, in bounds of par.
+      indent(Depth);
+      Src += formatString("for (int d%u = 0; d%u < %u; d%u = d%u + 1) {\n",
+                          Id, Id, Iters, Id, Id);
+      indent(Depth + 1);
+      Src += formatString("par[d%u] = d%u * 3 + %llu;\n", Id, Id,
+                          (unsigned long long)Rng.nextBelow(50));
+      indent(Depth);
+      Src += "}\n";
+      break;
+    }
+    default: { // Provably serial loop: a non-reduction ZIV recurrence.
+      unsigned Id = LoopCounter++;
+      unsigned Iters = 4 + Rng.nextBelow(9);
+      indent(Depth);
+      Src += formatString("for (int s%u = 0; s%u < %u; s%u = s%u + 1) {\n",
+                          Id, Id, Iters, Id, Id);
+      indent(Depth + 1);
+      Src += "ser[0] = (ser[0] * 3 + 1) % 1009;\n";
       indent(Depth);
       Src += "}\n";
       break;
@@ -210,6 +238,31 @@ TEST_P(PipelineProperty, DepthWindowPreservesWorkTotals) {
   for (size_t R = 0; R < A.Profile->entries().size(); ++R)
     EXPECT_EQ(A.Profile->entries()[R].TotalWork,
               B.Profile->entries()[R].TotalWork);
+}
+
+TEST_P(PipelineProperty, StaticVerdictsConsistentWithMeasurement) {
+  // The static analyzer's verdicts are input-independent claims, so they
+  // must square with what HCPA measures on the generated input: a
+  // provably DOALL loop's self-parallelism tracks its iteration count,
+  // and a provably serial loop can never measure highly parallel.
+  RandomProgram P(GetParam());
+  SCOPED_TRACE(P.source());
+  ProfiledRun Run = profileSource(P.source());
+  StaticAnalysisResult R = analyzeModuleDependence(*Run.M);
+  for (const StaticLoopResult &L : R.Loops) {
+    if (L.Region == NoRegion)
+      continue;
+    const RegionProfileEntry &E = Run.Profile->entry(L.Region);
+    if (!E.Executed || E.avgIterations() < 2.0)
+      continue;
+    if (L.Verdict == LoopVerdict::ProvablyDoall) {
+      EXPECT_GE(E.SelfParallelism, 0.7 * E.avgIterations())
+          << Run.M->Regions[L.Region].sourceSpan() << ": " << L.Reason;
+    } else if (L.Verdict == LoopVerdict::ProvablySerial) {
+      EXPECT_LT(E.SelfParallelism, 5.0)
+          << Run.M->Regions[L.Region].sourceSpan() << ": " << L.Reason;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,

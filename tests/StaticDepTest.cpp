@@ -1,0 +1,461 @@
+//===- tests/StaticDepTest.cpp - dataflow + static loop dependence --------===//
+//
+// Covers the static-analysis subsystem: reaching definitions, def-use
+// chains, loop-carried scalar dependences, the ZIV/SIV loop classifier,
+// the --verify-ir instrumentation gate, the lint pipeline, and the
+// soundness cross-check against the dynamic profile on the paper suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataFlow.h"
+#include "analysis/StaticDependence.h"
+#include "driver/KremlinDriver.h"
+#include "ir/IRBuilder.h"
+#include "suite/PaperSuite.h"
+#include "support/FaultInjection.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace kremlin;
+using namespace kremlin::test;
+
+namespace {
+
+/// The verdict of the single loop in function \p Func.
+LoopVerdict verdictIn(const StaticAnalysisResult &R, const Module &M,
+                      const std::string &Func) {
+  for (const StaticLoopResult &L : R.Loops)
+    if (L.Func != NoFunc && M.Functions[L.Func].Name == Func)
+      return L.Verdict;
+  ADD_FAILURE() << "no analyzed loop in " << Func;
+  return LoopVerdict::Unknown;
+}
+
+/// Compile + instrument + analyze, asserting exactly one loop, and return
+/// its full result.
+StaticLoopResult analyzeSingleLoop(const std::string &Source) {
+  std::unique_ptr<Module> M = compileOrDie(Source);
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(R.Loops.size(), 1u);
+  return R.Loops.empty() ? StaticLoopResult() : R.Loops.front();
+}
+
+// --- Reaching definitions / def-use chains ---------------------------------
+
+/// Diamond with the same register defined in the entry and both arms.
+struct RedefDiamond {
+  Module M;
+  FuncId Id;
+  ValueId X = NoValue;
+  BlockId Join = NoBlock;
+
+  RedefDiamond() {
+    Function F;
+    F.Name = "rd";
+    F.ReturnTy = Type::Int;
+    Id = M.addFunction(std::move(F));
+    IRBuilder B(M, M.Functions[Id]);
+    BlockId B0 = B.createBlock("entry");
+    BlockId B1 = B.createBlock("then");
+    BlockId B2 = B.createBlock("else");
+    Join = B.createBlock("join");
+    B.setInsertPoint(B0);
+    ValueId C = B.emitConstInt(1);
+    X = B.emitConstInt(5);
+    B.emitCondBr(C, B1, B2);
+    B.setInsertPoint(B1);
+    B.emitMove(Type::Int, B.emitConstInt(1), X);
+    B.emitBr(Join);
+    B.setInsertPoint(B2);
+    B.emitMove(Type::Int, B.emitConstInt(2), X);
+    B.emitBr(Join);
+    B.setInsertPoint(Join);
+    B.emitRet(X);
+  }
+  const Function &fn() const { return M.Functions[Id]; }
+};
+
+TEST(ReachingDefs, ArmDefsKillEntryDefAtJoin) {
+  RedefDiamond D;
+  ReachingDefs RD(D.fn());
+  const std::vector<unsigned> &DefsOfX = RD.defsOf(D.X);
+  ASSERT_EQ(DefsOfX.size(), 3u);
+  std::vector<unsigned> AtJoin = RD.reachingIn(D.Join);
+  // Both arm redefinitions reach the join; the entry definition is killed
+  // on every path.
+  unsigned XDefsAtJoin = 0;
+  for (unsigned DefIdx : AtJoin)
+    if (RD.defs()[DefIdx].Value == D.X) {
+      ++XDefsAtJoin;
+      EXPECT_NE(RD.defs()[DefIdx].BB, 0u);
+    }
+  EXPECT_EQ(XDefsAtJoin, 2u);
+}
+
+TEST(ReachingDefs, LocalDefSupersedesIncoming) {
+  RedefDiamond D;
+  ReachingDefs RD(D.fn());
+  // In the then-arm (bb1), the use of X by the ret would see only the
+  // local redefinition; emulate with reachingAtUse past the Move.
+  const Function &F = D.fn();
+  unsigned MoveIdx = 0;
+  for (unsigned I = 0; I < F.Blocks[1].Insts.size(); ++I)
+    if (F.Blocks[1].Insts[I].Op == Opcode::Move)
+      MoveIdx = I;
+  std::vector<unsigned> Reaching =
+      RD.reachingAtUse(1, MoveIdx + 1, D.X);
+  ASSERT_EQ(Reaching.size(), 1u);
+  EXPECT_EQ(RD.defs()[Reaching.front()].BB, 1u);
+}
+
+TEST(DefUseChains, RetUseMapsToBothArmDefs) {
+  RedefDiamond D;
+  ReachingDefs RD(D.fn());
+  DefUseChains DU = buildDefUseChains(D.fn(), RD);
+  ASSERT_EQ(DU.UsesOfDef.size(), RD.defs().size());
+  // Each arm definition of X reaches exactly the ret's use in the join.
+  for (unsigned DefIdx = 0; DefIdx < RD.defs().size(); ++DefIdx) {
+    const DefSite &Def = RD.defs()[DefIdx];
+    if (Def.Value != D.X || Def.BB == 0)
+      continue;
+    ASSERT_EQ(DU.UsesOfDef[DefIdx].size(), 1u);
+    EXPECT_EQ(DU.UsesOfDef[DefIdx].front().BB, D.Join);
+  }
+  EXPECT_TRUE(DU.UndefinedUses.empty());
+}
+
+TEST(ScalarCarriedDeps, AccumulatorIsCarriedAndBreakable) {
+  // `s = s + i` lowers to a marked reduction update: the carried scalar
+  // dependence exists but is breakable.
+  std::unique_ptr<Module> M = compileOrDie(
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 8; i = i + 1) { s = s + i; }"
+      " return s; }");
+  instrumentModule(*M);
+  const Function &F = M->Functions[0];
+  LoopInfo LI = computeLoops(F);
+  ASSERT_EQ(LI.Loops.size(), 1u);
+  ReachingDefs RD(F);
+  DomTree DT = computeDominators(F);
+  std::vector<ScalarCarriedDep> Deps =
+      findLoopCarriedScalarDeps(F, LI.Loops[0], RD, DT);
+  ASSERT_FALSE(Deps.empty());
+  for (const ScalarCarriedDep &Dep : Deps)
+    EXPECT_TRUE(Dep.Breakable) << "value v" << Dep.Value;
+}
+
+TEST(ScalarCarriedDeps, NonReductionRecurrenceIsCertain) {
+  // `s = s * 2 + 1` is not a recognizable reduction: the carried
+  // dependence must surface as certain and non-breakable.
+  std::unique_ptr<Module> M = compileOrDie(
+      "int main() { int s = 1;"
+      " for (int i = 0; i < 8; i = i + 1) { s = s * 2 + 1; }"
+      " return s; }");
+  instrumentModule(*M);
+  const Function &F = M->Functions[0];
+  LoopInfo LI = computeLoops(F);
+  ASSERT_EQ(LI.Loops.size(), 1u);
+  ReachingDefs RD(F);
+  DomTree DT = computeDominators(F);
+  std::vector<ScalarCarriedDep> Deps =
+      findLoopCarriedScalarDeps(F, LI.Loops[0], RD, DT);
+  bool SawCertainUnbreakable = false;
+  for (const ScalarCarriedDep &Dep : Deps)
+    SawCertainUnbreakable |= Dep.Certain && !Dep.Breakable;
+  EXPECT_TRUE(SawCertainUnbreakable);
+}
+
+// --- Loop verdicts ----------------------------------------------------------
+
+TEST(StaticDependence, SerialArrayRecurrence) {
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() { a[0] = 1;"
+      " for (int i = 0; i < 63; i = i + 1) { a[i + 1] = a[i] + 1; }"
+      " return a[63]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablySerial);
+  // The diagnostic cites the dependence with its source line.
+  EXPECT_NE(L.Reason.find("line"), std::string::npos) << L.Reason;
+  EXPECT_GT(L.DepSrcLine, 0u);
+  EXPECT_GT(L.DepDstLine, 0u);
+}
+
+TEST(StaticDependence, IndependentCellsAreDoall) {
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() {"
+      " for (int i = 0; i < 64; i = i + 1) { a[i] = i * 2; }"
+      " return a[5]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, ReductionIsBreakableHenceDoall) {
+  // HCPA ignores reduction dependences (paper §4.1); so does the static
+  // verdict — the loop is parallelizable with a reduction clause.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 64; i = i + 1) { s = s + a[i]; }"
+      " return s; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, IndirectSubscriptIsUnknown) {
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64]; int b[64];"
+      "int main() {"
+      " for (int i = 0; i < 64; i = i + 1) { a[b[i]] = i; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::Unknown);
+}
+
+TEST(StaticDependence, CallInLoopIsUnknown) {
+  std::unique_ptr<Module> M = compileOrDie(
+      "int g[4];"
+      "int bump() { g[0] = g[0] + 1; return g[0]; }"
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 8; i = i + 1) { s = s + bump(); }"
+      " return s; }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(verdictIn(R, *M, "main"), LoopVerdict::Unknown);
+}
+
+TEST(StaticDependence, ZivDistinctCellsAreDoall) {
+  // Stores hit cell 0 only (an output dependence — breakable by
+  // privatization); the load reads cell 1. No carried flow.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() {"
+      " for (int i = 0; i < 8; i = i + 1) { a[0] = a[1] + 1; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, ZivSameCellRecurrenceIsSerial) {
+  // Every iteration reads the cell the previous one wrote, and `* 2 + 1`
+  // is not a reduction the runtime could break.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() { a[0] = 1;"
+      " for (int i = 0; i < 8; i = i + 1) { a[0] = a[0] * 2 + 1; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablySerial);
+}
+
+TEST(StaticDependence, NegativeDistanceIsAntiHenceDoall) {
+  // a[i] = a[i+1] reads ahead: an anti dependence, breakable by
+  // pre-copying, so no carried flow exists.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() {"
+      " for (int i = 0; i < 63; i = i + 1) { a[i] = a[i + 1] + 1; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, OuterLoopOfNestIsUnknown) {
+  std::unique_ptr<Module> M = compileOrDie(
+      "int a[64];"
+      "int main() {"
+      " for (int i = 0; i < 8; i = i + 1) {"
+      "   for (int j = 0; j < 8; j = j + 1) { a[i * 8 + j] = i + j; }"
+      " }"
+      " return a[0]; }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  ASSERT_EQ(R.Loops.size(), 2u);
+  unsigned NumUnknown = 0, NumDoall = 0;
+  for (const StaticLoopResult &L : R.Loops) {
+    NumUnknown += L.Verdict == LoopVerdict::Unknown;
+    NumDoall += L.Verdict == LoopVerdict::ProvablyDoall;
+  }
+  // The outer loop contains a nested loop -> Unknown; the inner loop has
+  // an invariant i-term in its subscript and stays provable.
+  EXPECT_EQ(NumUnknown, 1u);
+  EXPECT_EQ(NumDoall, 1u);
+}
+
+TEST(StaticDependence, VerdictCountsAndRegionMap) {
+  std::unique_ptr<Module> M = compileOrDie(
+      "int a[64];"
+      "int f() { a[0] = 1;"
+      " for (int i = 0; i < 63; i = i + 1) { a[i + 1] = a[i] + 1; }"
+      " return a[63]; }"
+      "int main() {"
+      " for (int i = 0; i < 64; i = i + 1) { a[i] = i; }"
+      " return f(); }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(R.Loops.size(), 2u);
+  EXPECT_EQ(R.NumSerial, 1u);
+  EXPECT_EQ(R.NumDoall, 1u);
+  EXPECT_EQ(R.NumDoall + R.NumSerial + R.NumUnknown, R.Loops.size());
+  // Every loop lowered from source carries its Loop region, and the
+  // planner-facing map covers exactly those.
+  EXPECT_EQ(R.verdictMap().size(), 2u);
+  for (const StaticLoopResult &L : R.Loops) {
+    ASSERT_NE(L.Region, NoRegion);
+    ASSERT_NE(R.forRegion(L.Region), nullptr);
+    EXPECT_EQ(R.forRegion(L.Region)->Verdict, L.Verdict);
+  }
+}
+
+// --- Planner integration ----------------------------------------------------
+
+TEST(StaticDependence, PlannerDemotesProvablySerialRegion) {
+  // A serial recurrence that HCPA *measures* as parallel: the loop body
+  // writes a[i+1] from a[i], but the profile's verdict is input-based.
+  // Feed the planner a fake high-SP profile via replan on the real one —
+  // instead, simplest: run the driver and assert the serial region never
+  // appears in the plan even with thresholds dropped to zero.
+  KremlinDriver Driver;
+  Driver.options().Planner.MinSelfParallelism = 0.0;
+  Driver.options().Planner.MinDoallSpeedupPct = 0.0;
+  DriverResult Result = Driver.runOnSource(
+      "int a[256];"
+      "int main() { a[0] = 1;"
+      " for (int i = 0; i < 255; i = i + 1) { a[i + 1] = a[i] + 3; }"
+      " return a[255]; }",
+      "serial.c");
+  ASSERT_TRUE(Result.succeeded());
+  ASSERT_EQ(Result.Static.NumSerial, 1u);
+  RegionId SerialRegion = NoRegion;
+  for (const StaticLoopResult &L : Result.Static.Loops)
+    if (L.Verdict == LoopVerdict::ProvablySerial)
+      SerialRegion = L.Region;
+  ASSERT_NE(SerialRegion, NoRegion);
+  EXPECT_FALSE(Result.ThePlan.contains(SerialRegion));
+}
+
+TEST(StaticDependence, PlanItemsCarryStaticVerdict) {
+  KremlinDriver Driver;
+  DriverResult Result = Driver.runOnSource(
+      "int a[512];"
+      "int main() {"
+      " for (int i = 0; i < 512; i = i + 1) { a[i] = i * 3; }"
+      " return a[7]; }",
+      "doall.c");
+  ASSERT_TRUE(Result.succeeded());
+  ASSERT_FALSE(Result.ThePlan.Items.empty());
+  EXPECT_EQ(Result.ThePlan.Items.front().Static, LoopVerdict::ProvablyDoall);
+}
+
+// --- Driver integration -----------------------------------------------------
+
+TEST(Lint, StaticOnlyPipelineProducesVerdictsWithoutExecuting) {
+  KremlinDriver Driver;
+  DriverResult Result = Driver.lintSource(
+      "int acc[128];"
+      "int main() { acc[0] = 2;"
+      " for (int i = 0; i < 127; i = i + 1) { acc[i + 1] = acc[i] + 3; }"
+      " return acc[127]; }",
+      "lint.c");
+  ASSERT_TRUE(Result.succeeded());
+  EXPECT_GE(Result.Static.NumSerial, 1u);
+  // No execution happened: the execute stage never ran.
+  EXPECT_EQ(Result.Exec.DynInstructions, 0u);
+  for (const auto &[Stage, Ms] : Result.StageMs)
+    EXPECT_NE(Stage, "execute");
+  EXPECT_EQ(Result.Profile, nullptr);
+}
+
+TEST(Lint, AnalyzeStageRunsEvenWhenStaticAnalysisDisabled) {
+  KremlinDriver Driver;
+  Driver.options().StaticAnalysis = false;
+  DriverResult Result = Driver.lintSource(
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 4; i = i + 1) { s = s + i; }"
+      " return s; }",
+      "lint2.c");
+  ASSERT_TRUE(Result.succeeded());
+  EXPECT_EQ(Result.Static.Loops.size(), 1u);
+}
+
+TEST(VerifyIR, CorruptingModuleFailsNamingThePass) {
+  // An out-of-range operand register escapes the frontend verifier only if
+  // we inject it after verify; here we hand instrumentModule a broken
+  // module directly and check the gate names the first pass.
+  Module M;
+  Function F;
+  F.Name = "broken";
+  F.ReturnTy = Type::Void;
+  FuncId Id = M.addFunction(std::move(F));
+  IRBuilder B(M, M.Functions[Id]);
+  BlockId B0 = B.createBlock("entry");
+  B.setInsertPoint(B0);
+  B.emitRet();
+  // Corrupt: an instruction reading a register beyond NumValues.
+  Instruction Bad;
+  Bad.Op = Opcode::Neg;
+  Bad.Ty = Type::Int;
+  Bad.Result = 0;
+  Bad.A = 12345;
+  M.Functions[Id].Blocks[B0].Insts.insert(
+      M.Functions[Id].Blocks[B0].Insts.begin(), Bad);
+  M.Functions[Id].NumValues = 1;
+
+  InstrumentOptions Opts;
+  Opts.VerifyAfterEachPass = true;
+  InstrumentResult R = instrumentModule(M, Opts);
+  ASSERT_FALSE(R.Err.ok());
+  EXPECT_EQ(R.Err.code(), ErrorCode::Internal);
+  EXPECT_NE(R.Err.message().find("control-dependence"), std::string::npos)
+      << R.Err.message();
+}
+
+TEST(VerifyIR, CleanPipelinePassesWithGateEnabled) {
+  KremlinDriver Driver;
+  Driver.options().VerifyIR = true;
+  DriverResult Result = Driver.runOnSource(
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 4; i = i + 1) { s = s + i; }"
+      " return s; }",
+      "clean.c");
+  EXPECT_TRUE(Result.succeeded()) << Result.Err.toString();
+}
+
+TEST(AnalyzeStage, FaultInjectionFailsThePipelineCleanly) {
+  ASSERT_TRUE(fault::configure("stage:analyze"));
+  KremlinDriver Driver;
+  DriverResult Result = Driver.runOnSource(
+      "int main() { return 0; }", "faulted.c");
+  ASSERT_TRUE(fault::configure(""));
+  EXPECT_FALSE(Result.succeeded());
+  EXPECT_EQ(Result.failedStage(), "analyze");
+  EXPECT_EQ(Result.Err.code(), ErrorCode::FaultInjected);
+}
+
+// --- Paper-suite cross-check ------------------------------------------------
+
+TEST(StaticDependence, NoProvablyDoallLoopMeasuresSerial) {
+  // Soundness gate: on every paper benchmark, a loop the static analyzer
+  // proves DOALL must never be measured dynamically serial (the converse
+  // — measured parallel but provably serial — is legal input
+  // sensitivity).
+  for (const std::string &Name : paperBenchmarkNames()) {
+    Expected<GeneratedBenchmark> GB = tryGeneratePaperBenchmark(Name);
+    ASSERT_TRUE(GB.ok()) << Name;
+    ProfiledRun Run = profileSource(GB->Source);
+    ASSERT_TRUE(Run.Exec.Ok) << Name;
+    StaticAnalysisResult R = analyzeModuleDependence(*Run.M);
+    for (const StaticLoopResult &L : R.Loops) {
+      if (L.Verdict != LoopVerdict::ProvablyDoall || L.Region == NoRegion)
+        continue;
+      const RegionProfileEntry &E = Run.Profile->entry(L.Region);
+      if (!E.Executed || E.avgIterations() < 2.0)
+        continue;
+      EXPECT_NE(E.Class, LoopClass::Serial)
+          << Name << " region " << L.Region << " ("
+          << Run.M->Regions[L.Region].sourceSpan()
+          << "): provably DOALL but measured serial (SP="
+          << E.SelfParallelism << ")";
+    }
+  }
+}
+
+} // namespace
