@@ -45,6 +45,33 @@ void BM_SpanEnabled(benchmark::State &State) {
 }
 BENCHMARK(BM_SpanEnabled);
 
+/// Counts and discards chunks so the benchmark measures the ring + sink
+/// hand-off itself, not unbounded accumulation or file I/O.
+struct DiscardingSink final : telemetry::TraceSink {
+  uint64_t Events = 0;
+  void writeBatch(std::vector<telemetry::TraceEvent> Batch) override {
+    Events += Batch.size();
+  }
+};
+
+/// The streaming path: a sink is installed, so full ring shards hand
+/// their chunks to it instead of overwriting. This pins the cost of
+/// producing a bounded-memory trace so the streaming overhead over
+/// BM_SpanEnabled stays visible in baselines.
+void BM_SpanStreamingSink(benchmark::State &State) {
+  telemetry::TraceSinkConfig Cfg;
+  Cfg.RingEvents = 4096;
+  (void)telemetry::setTraceSink(std::make_unique<DiscardingSink>(), Cfg);
+  for (auto _ : State) {
+    telemetry::Span S("bench.span");
+    benchmark::DoNotOptimize(&S);
+  }
+  (void)telemetry::closeTraceSink();
+  telemetry::setTraceRingEvents(0);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SpanStreamingSink);
+
 void BM_CounterAdd(benchmark::State &State) {
   telemetry::Counter &C =
       telemetry::Registry::global().counter("bench.counter");

@@ -4,15 +4,19 @@
 
 #include "driver/KremlinDriver.h"
 #include "machine/ExecutionSimulator.h"
+#include "report/ProfileExport.h"
 #include "suite/PaperSuite.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -40,6 +44,27 @@ double elapsedMs(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - Start)
       .count();
+}
+
+/// Synthesizes a Chrome trace for one benchmark from its own stage
+/// timings. The process-wide trace ring is shared by every concurrent
+/// worker, so per-benchmark traces are rebuilt from the run's private
+/// StageMs copy instead of the interleaved global stream.
+std::string stageTraceJson(const DriverResult &R) {
+  std::vector<telemetry::TraceEvent> Events;
+  uint64_t CursorUs = 0;
+  for (const auto &[StageName, Ms] : R.StageMs) {
+    telemetry::TraceEvent E;
+    E.K = telemetry::TraceEvent::Kind::Span;
+    E.Name = "pipeline." + StageName;
+    E.Category = "bench";
+    E.Tid = 1;
+    E.TimeUs = CursorUs;
+    E.DurUs = static_cast<uint64_t>(Ms * 1000.0);
+    CursorUs += E.DurUs;
+    Events.push_back(std::move(E));
+  }
+  return telemetry::traceToChromeJson(Events);
 }
 
 /// Runs one paper benchmark through a private pipeline instance and
@@ -116,6 +141,23 @@ BenchTaskResult runOneBenchmark(const std::string &Name,
   for (const auto &[StageName, Ms] : R.StageMs)
     Out.Metrics[Name + "." + StageName + "_wall_ms"] = Ms;
 
+  // Profile-explorer export: always generated so its cost is measured
+  // (the report_wall_ms stage metric); only written out when TraceDir is
+  // set.
+  auto ReportStart = std::chrono::steady_clock::now();
+  report::RegionTree Tree = report::buildRegionTree(*R.Profile);
+  std::string Speedscope = report::exportSpeedscope(*R.Profile, Tree, Name);
+  Metric("report_wall_ms", elapsedMs(ReportStart));
+
+  if (!Opts.TraceDir.empty()) {
+    const std::string Base = Opts.TraceDir + "/" + Name;
+    if (!writeStringToFile(Base + ".json", stageTraceJson(R)) ||
+        !writeStringToFile(Base + ".speedscope.json", Speedscope))
+      telemetry::logf(telemetry::LogLevel::Warn, "bench",
+                      "cannot write per-benchmark trace under '%s'",
+                      Opts.TraceDir.c_str());
+  }
+
   Metric("wall_ms", elapsedMs(Start));
   return Out;
 }
@@ -184,6 +226,15 @@ BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
   std::vector<std::string> Names =
       Opts.Benchmarks.empty() ? paperBenchmarkNames() : Opts.Benchmarks;
 
+  if (!Opts.TraceDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.TraceDir, EC);
+    if (EC)
+      telemetry::logf(telemetry::LogLevel::Warn, "bench",
+                      "cannot create trace directory '%s': %s",
+                      Opts.TraceDir.c_str(), EC.message().c_str());
+  }
+
   ThreadPool Pool(Opts.Threads);
   Result.ThreadsUsed = Pool.size();
 
@@ -220,6 +271,12 @@ BenchSuiteResult kremlin::runBenchSuite(const BenchSuiteOptions &Opts) {
       StageTotals["suite.stage." + Suffix] += M.second;
   }
   Result.Metrics.insert(StageTotals.begin(), StageTotals.end());
+
+  // Report-generation cost across the suite, promoted to its own
+  // suite-level entry (also present as suite.stage.report_wall_ms).
+  if (auto It = StageTotals.find("suite.stage.report_wall_ms");
+      It != StageTotals.end())
+    Result.Metrics["suite.report_wall_ms"] = It->second;
 
   Result.Metrics["suite.benchmarks"] = static_cast<double>(Names.size());
   Result.Metrics["suite.failed"] =
@@ -275,6 +332,13 @@ bool kremlin::parseMetricsJson(std::string_view Json, MetricMap &Out,
   }
   Out.clear();
   for (const auto &M : Map->members()) {
+    // The serializer writes non-finite doubles as JSON null (there is no
+    // NaN literal); read them back as NaN so such snapshots stay
+    // diffable instead of rejecting the whole document.
+    if (M.second.isNull()) {
+      Out[M.first] = std::numeric_limits<double>::quiet_NaN();
+      continue;
+    }
     if (!M.second.isNumber()) {
       if (Error)
         *Error = "metric \"" + M.first + "\" is not a number";
@@ -425,8 +489,14 @@ std::string kremlin::renderMetricsDiff(const MetricMap &A, const MetricMap &B) {
     auto It = B.find(M.first);
     if (It != B.end()) {
       Row.New = &It->second;
-      Row.Rel = std::fabs(It->second - M.second) /
-                std::max(std::fabs(M.second), 1e-12);
+      // Non-finite values have no meaningful relative delta; pin Rel to
+      // HUGE_VAL (NaN here would break the sort's strict weak ordering)
+      // and render the row as "n/a" below.
+      if (!std::isfinite(M.second) || !std::isfinite(It->second))
+        Row.Rel = HUGE_VAL;
+      else
+        Row.Rel = std::fabs(It->second - M.second) /
+                  std::max(std::fabs(M.second), 1e-12);
     } else {
       Row.Rel = HUGE_VAL;
     }
@@ -457,6 +527,8 @@ std::string kremlin::renderMetricsDiff(const MetricMap &A, const MetricMap &B) {
       DeltaS = "added";
     else if (!Row.New)
       DeltaS = "removed";
+    else if (!std::isfinite(*Row.Old) || !std::isfinite(*Row.New))
+      DeltaS = "n/a"; // NaN/inf metric: listed, never formatted as %.
     else if (Row.Rel == 0.0)
       continue; // Unchanged rows would drown the signal.
     else

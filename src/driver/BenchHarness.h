@@ -50,6 +50,11 @@ struct BenchSuiteOptions {
   /// finishes over the deadline gets one retry; a second overrun records
   /// the benchmark as failed with DeadlineExceeded.
   double DeadlineMs = 0.0;
+  /// When set, each benchmark writes a per-run Chrome trace (synthesized
+  /// from its own stage timings, so concurrent workers never interleave)
+  /// to "<TraceDir>/<name>.json" and its speedscope profile to
+  /// "<TraceDir>/<name>.speedscope.json". The directory is created.
+  std::string TraceDir;
 };
 
 /// Per-benchmark completion record; serialized under "benchmarks" in

@@ -12,9 +12,13 @@
 //   kremlin prog.c --exclude=12,17                 exclusion-list replanning
 //   kremlin --bench=ft                             run a suite benchmark
 //   kremlin prog.c --trace-out=trace.json          Chrome trace of the run
+//                                                  (streamed through the
+//                                                  bounded telemetry ring)
 //   kremlin stats prog.c                           telemetry registry table
 //   kremlin lint prog.c                            static loop-dependence
 //                                                  verdicts, no execution
+//   kremlin report prog.c --format=speedscope      flamegraph/timeline
+//                                                  exports of the profile
 //
 // plus the regression harness (also built as the `kremlin-bench` binary):
 //
@@ -32,6 +36,7 @@
 #include "driver/KremlinDriver.h"
 #include "ir/IRPrinter.h"
 #include "parser/Lower.h"
+#include "report/ReportTool.h"
 #include "suite/PaperSuite.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -52,7 +57,7 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: kremlin [stats|lint] (<source.c> | --bench=<name> | "
+      "usage: kremlin [stats|lint|report] (<source.c> | --bench=<name> | "
       "--tracking) [options]\n"
       "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
@@ -67,8 +72,13 @@ void printUsage() {
       "  --save-trace=<path>                      write the compressed trace\n"
       "  --load-trace=<path>                      decode a compressed trace\n"
       "                                           and print its summary\n"
-      "  --trace-out=<path>                       write a Chrome trace_event\n"
+      "  --trace-out=<path>                       stream a Chrome trace_event\n"
       "                                           JSON of the pipeline run\n"
+      "                                           through the bounded ring\n"
+      "  --trace-ring-events=<n>                  trace ring capacity in\n"
+      "                                           events (default 65536)\n"
+      "  --trace-flush-kb=<n>                     trace file write-buffer\n"
+      "                                           size in KiB (default 64)\n"
       "  --metrics-out=<path>                     write the telemetry\n"
       "                                           registry as metrics JSON\n"
       "  --dump-ir                                print instrumented IR\n"
@@ -83,6 +93,9 @@ void printUsage() {
       "The `stats` subcommand runs the same pipeline and renders the\n"
       "telemetry registry as a table instead of the plan;\n"
       "`kremlin stats --diff <a.json> <b.json>` compares two metrics files.\n"
+      "The `report` subcommand exports the profiled region tree as a\n"
+      "flamegraph (speedscope/collapsed), per-region timeline JSON, or\n"
+      "terminal tree; see `kremlin report --help`.\n"
       "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n"
       "KREMLIN_FAULT=alloc:<p>|trace_corrupt|stage:<name>|bench_throw:<p>\n"
       "(comma-combined, KREMLIN_FAULT_SEED=<n>) enables deterministic fault\n"
@@ -114,22 +127,46 @@ void printBenchUsage() {
       "  --tolerance=<f>          override the default relative tolerance\n"
       "  --deadline-ms=<n>        per-benchmark wall-clock deadline; one\n"
       "                           retry, then the benchmark is marked failed\n"
-      "  --trace-out=<path>       write a Chrome trace of the suite run\n"
+      "  --trace-out=<path>       stream a Chrome trace of the suite run;\n"
+      "                           per-benchmark traces + speedscope\n"
+      "                           profiles land in bench_traces/ next to it\n"
+      "  --trace-ring-events=<n>  trace ring capacity in events\n"
+      "  --trace-flush-kb=<n>     trace file write-buffer size in KiB\n"
       "  --metrics-out=<path>     write the telemetry registry as JSON\n"
       "  --no-simulate            skip machine-model plan evaluation\n");
 }
 
-/// Writes the pending trace and/or registry snapshot when the respective
-/// --trace-out/--metrics-out path is set. Returns false on I/O failure.
+/// Opens a streaming file sink for --trace-out: spans flow through the
+/// bounded ring and are flushed chunk-wise to \p TraceOut as the run
+/// executes instead of accumulating in memory.
+bool installTraceSink(const std::string &TraceOut,
+                      const tel::TraceSinkConfig &Cfg) {
+  if (TraceOut.empty())
+    return true;
+  Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+      tel::FileTraceSink::open(TraceOut, Cfg);
+  if (!Sink.ok()) {
+    tel::logError("cli", Sink.status().toString());
+    return false;
+  }
+  // The returned status reports closing a *previous* sink; none is
+  // installed at tool startup.
+  (void)tel::setTraceSink(std::move(*Sink), Cfg);
+  return true;
+}
+
+/// Finalizes the pending trace stream and/or writes the registry snapshot
+/// when the respective --trace-out/--metrics-out path is set. Returns
+/// false on I/O failure.
 bool writeTelemetryOutputs(const std::string &TraceOut,
                            const std::string &MetricsOut) {
   bool Ok = true;
   if (!TraceOut.empty()) {
-    if (writeStringToFile(TraceOut, tel::takeTraceAsChromeJson())) {
+    Status CloseSt = tel::closeTraceSink();
+    if (CloseSt.ok()) {
       std::printf("trace written to %s\n", TraceOut.c_str());
     } else {
-      tel::logf(tel::LogLevel::Error, "cli", "cannot write trace to '%s'",
-                TraceOut.c_str());
+      tel::logError("cli", CloseSt.toString());
       Ok = false;
     }
   }
@@ -154,6 +191,7 @@ int benchMain(const std::vector<std::string> &Args) {
   std::string OutPath = "BENCH_results.json";
   std::string BaselinePath = "bench/baseline.json";
   std::string TraceOut, MetricsOut;
+  tel::TraceSinkConfig SinkCfg;
   bool CheckBaseline = false, UpdateBaseline = false;
   double Tolerance = -1.0;
 
@@ -178,6 +216,10 @@ int benchMain(const std::vector<std::string> &Args) {
       Opts.DeadlineMs = std::strtod(Value().c_str(), nullptr);
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = Value();
+    } else if (Arg.rfind("--trace-ring-events=", 0) == 0) {
+      SinkCfg.RingEvents = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--trace-flush-kb=", 0) == 0) {
+      SinkCfg.FlushKb = std::strtoull(Value().c_str(), nullptr, 10);
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
       MetricsOut = Value();
     } else if (Arg == "--check-baseline") {
@@ -197,8 +239,19 @@ int benchMain(const std::vector<std::string> &Args) {
     }
   }
 
-  if (!TraceOut.empty())
-    tel::setTraceEnabled(true);
+  if (!TraceOut.empty()) {
+    // Suite-level spans stream to TraceOut; per-benchmark traces go to a
+    // bench_traces/ directory beside it (workers share one process-wide
+    // ring, so each benchmark's trace is rebuilt from its own stage
+    // timings — see BenchHarness::stageTraceJson).
+    if (!installTraceSink(TraceOut, SinkCfg))
+      return 1;
+    size_t Slash = TraceOut.find_last_of('/');
+    Opts.TraceDir = (Slash == std::string::npos
+                         ? std::string()
+                         : TraceOut.substr(0, Slash + 1)) +
+                    "bench_traces";
+  }
 
   BenchSuiteResult Result = runBenchSuite(Opts);
   for (const std::string &E : Result.Errors)
@@ -300,6 +353,9 @@ int main(int argc, char **argv) {
 #endif
   if (argc > 1 && std::strcmp(argv[1], "bench") == 0)
     return benchMain(std::vector<std::string>(argv + 2, argv + argc));
+  if (argc > 1 && std::strcmp(argv[1], "report") == 0)
+    return report::reportMain(
+        std::vector<std::string>(argv + 2, argv + argc));
 
   // `kremlin stats ...` runs the same pipeline but renders the telemetry
   // registry instead of the plan. `kremlin lint ...` runs only the static
@@ -322,6 +378,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> DiffPaths;
   std::string SaveTracePath, LoadTracePath;
   std::string TraceOut, MetricsOut;
+  tel::TraceSinkConfig SinkCfg;
   size_t Rows = 25;
 
   for (int I = ArgStart; I < argc; ++I) {
@@ -368,6 +425,10 @@ int main(int argc, char **argv) {
       LoadTracePath = Value();
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = Value();
+    } else if (Arg.rfind("--trace-ring-events=", 0) == 0) {
+      SinkCfg.RingEvents = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--trace-flush-kb=", 0) == 0) {
+      SinkCfg.FlushKb = std::strtoull(Value().c_str(), nullptr, 10);
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
       MetricsOut = Value();
     } else if (Arg == "--profile") {
@@ -458,8 +519,8 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  if (!TraceOut.empty())
-    tel::setTraceEnabled(true);
+  if (!installTraceSink(TraceOut, SinkCfg))
+    return 1;
 
   // `kremlin lint`: frontend + static passes only; never executes the
   // program. The verdicts are advisory, so a clean run exits 0 even when

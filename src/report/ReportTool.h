@@ -1,0 +1,31 @@
+//===- report/ReportTool.h - `kremlin report` entry point -------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `kremlin report` subcommand: profiles a MiniC program (or loads a
+/// saved compressed trace) and renders the HCPA region tree in one of the
+/// ProfileExport formats. Lives in its own translation unit so the export
+/// library itself stays free of driver dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_REPORT_REPORTTOOL_H
+#define KREMLIN_REPORT_REPORTTOOL_H
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+namespace report {
+
+/// Runs `kremlin report`; \p Args excludes argv[0] and the subcommand
+/// word. Returns the process exit code.
+int reportMain(const std::vector<std::string> &Args);
+
+} // namespace report
+} // namespace kremlin
+
+#endif // KREMLIN_REPORT_REPORTTOOL_H

@@ -132,34 +132,95 @@ void Registry::resetValues() {
     H->reset();
 }
 
-// --- Trace buffer -----------------------------------------------------------
+// --- Trace ring and sinks ---------------------------------------------------
 
 namespace {
 
-constexpr unsigned NumShards = 16;
-
+/// One lock-sharded ring segment. Events is a circular window: Start
+/// indexes the oldest event once the shard has wrapped (sink-less mode);
+/// with a sink installed the shard never wraps — filling it hands the
+/// whole chunk to the sink instead.
 struct TraceShard {
   std::mutex Mutex;
   std::vector<TraceEvent> Events;
+  size_t Start = 0;
+
+  /// Restores chronological order after wrapping; call under Mutex.
+  void normalize() {
+    if (Start != 0) {
+      std::rotate(Events.begin(),
+                  Events.begin() + static_cast<ptrdiff_t>(Start),
+                  Events.end());
+      Start = 0;
+    }
+  }
 };
 
 TraceShard *shards() {
-  static TraceShard Shards[NumShards];
+  static TraceShard Shards[NumTraceShards];
   return Shards;
 }
 
 TraceShard &shardForThisThread() {
   // Hash of the thread id, cached per thread.
-  thread_local unsigned Shard = static_cast<unsigned>(
-      std::hash<std::thread::id>()(std::this_thread::get_id()) % NumShards);
+  thread_local unsigned Shard =
+      static_cast<unsigned>(std::hash<std::thread::id>()(
+                                std::this_thread::get_id()) %
+                            NumTraceShards);
   return shards()[Shard];
 }
 
 std::atomic<bool> TraceOn{false};
 
+/// Per-shard ring capacity, derived from TraceSinkConfig::RingEvents.
+std::atomic<size_t> ShardCapacity{TraceSinkConfig().RingEvents /
+                                  NumTraceShards};
+
+size_t perShardCapacity(size_t TotalEvents) {
+  if (TotalEvents == 0)
+    TotalEvents = TraceSinkConfig().RingEvents;
+  size_t Per = TotalEvents / NumTraceShards;
+  return Per < 4 ? 4 : Per;
+}
+
+/// The installed sink. SinkPresent mirrors (Sink != nullptr) so the
+/// record path can branch without taking the sink mutex.
+struct SinkState {
+  std::mutex Mutex;
+  std::unique_ptr<TraceSink> Sink;
+};
+
+SinkState &sinkState() {
+  static SinkState S;
+  return S;
+}
+
+std::atomic<bool> SinkPresent{false};
+
 /// Events observed (recorded or dropped); the disabled-path cost.
 Counter &eventCounter() {
   static Counter &C = Registry::global().counter("telemetry.events");
+  return C;
+}
+
+/// Streaming-path accounting. recorded counts ring insertions, dropped
+/// counts ring overwrites (sink-less mode), flushes/flushed_events count
+/// chunks handed to the sink.
+Counter &recordedCounter() {
+  static Counter &C = Registry::global().counter("telemetry.trace.recorded");
+  return C;
+}
+Counter &droppedCounter() {
+  static Counter &C = Registry::global().counter("telemetry.trace.dropped");
+  return C;
+}
+Counter &flushCounter() {
+  static Counter &C = Registry::global().counter("telemetry.trace.flushes");
+  return C;
+}
+Counter &flushedEventsCounter() {
+  static Counter &C =
+      Registry::global().counter("telemetry.trace.flushed_events");
   return C;
 }
 
@@ -178,11 +239,69 @@ uint32_t compactTid() {
   return Cached;
 }
 
+/// Hands one chunk to the installed sink (if any); events of chunks that
+/// race with sink removal are dropped with accounting, never lost silently.
+void writeChunkToSink(std::vector<TraceEvent> Chunk) {
+  if (Chunk.empty())
+    return;
+  size_t N = Chunk.size();
+  SinkState &S = sinkState();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (!S.Sink) {
+    droppedCounter().add(N);
+    return;
+  }
+  S.Sink->writeBatch(std::move(Chunk));
+  flushCounter().add();
+  flushedEventsCounter().add(N);
+}
+
 void recordEvent(TraceEvent E) {
   E.Tid = compactTid();
   TraceShard &Shard = shardForThisThread();
-  std::lock_guard<std::mutex> Lock(Shard.Mutex);
-  Shard.Events.push_back(std::move(E));
+  std::vector<TraceEvent> Chunk;
+  {
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    size_t Cap = ShardCapacity.load(std::memory_order_relaxed);
+    if (Shard.Events.size() >= Cap) {
+      if (SinkPresent.load(std::memory_order_relaxed)) {
+        // Chunk boundary: move the full shard out (under the shard lock)
+        // and stream it after release, so sink I/O never blocks siblings.
+        Shard.normalize();
+        Chunk = std::move(Shard.Events);
+        Shard.Events = {};
+        Shard.Events.reserve(Cap);
+        Shard.Events.push_back(std::move(E));
+      } else {
+        // Bounded window: overwrite the oldest event in place.
+        Shard.Events[Shard.Start] = std::move(E);
+        Shard.Start = (Shard.Start + 1) % Shard.Events.size();
+        droppedCounter().add();
+      }
+    } else {
+      Shard.Events.push_back(std::move(E));
+    }
+    recordedCounter().add();
+  }
+  writeChunkToSink(std::move(Chunk));
+}
+
+/// Drains every shard into a single chronological vector.
+std::vector<TraceEvent> drainShards() {
+  std::vector<TraceEvent> Out;
+  for (unsigned I = 0; I < NumTraceShards; ++I) {
+    TraceShard &Shard = shards()[I];
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    Shard.normalize();
+    Out.insert(Out.end(), std::make_move_iterator(Shard.Events.begin()),
+               std::make_move_iterator(Shard.Events.end()));
+    Shard.Events.clear();
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TimeUs < B.TimeUs;
+                   });
+  return Out;
 }
 
 std::chrono::steady_clock::time_point processStart() {
@@ -200,6 +319,153 @@ bool kremlin::telemetry::traceEnabled() {
 void kremlin::telemetry::setTraceEnabled(bool Enabled) {
   processStart(); // Pin the epoch before the first span.
   TraceOn.store(Enabled, std::memory_order_relaxed);
+}
+
+// --- Sinks ------------------------------------------------------------------
+
+void InMemoryTraceSink::writeBatch(std::vector<TraceEvent> Batch) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.insert(Events.end(), std::make_move_iterator(Batch.begin()),
+                std::make_move_iterator(Batch.end()));
+}
+
+std::vector<TraceEvent> InMemoryTraceSink::take() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<TraceEvent> Out = std::move(Events);
+  Events = {};
+  return Out;
+}
+
+Expected<std::unique_ptr<FileTraceSink>>
+FileTraceSink::open(std::string Path, const TraceSinkConfig &Cfg) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Status::error(ErrorCode::IoError,
+                         "cannot open trace output for writing")
+        .withStage("trace-sink")
+        .withInput(Path);
+  std::unique_ptr<FileTraceSink> Sink(new FileTraceSink());
+  Sink->Path = std::move(Path);
+  Sink->File = F;
+  Sink->FlushBytes = (Cfg.FlushKb ? Cfg.FlushKb : 1) * 1024;
+  Sink->Buf = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  return Sink;
+}
+
+FileTraceSink::~FileTraceSink() { close(); }
+
+void FileTraceSink::writeBatch(std::vector<TraceEvent> Batch) {
+  if (Closed)
+    return;
+  for (const TraceEvent &E : Batch) {
+    Buf += WroteEvent ? ",\n    " : "\n    ";
+    WroteEvent = true;
+    Buf += traceEventToJson(E).serialize(2);
+  }
+  flushBuffer(/*Force=*/false);
+}
+
+void FileTraceSink::flushBuffer(bool Force) {
+  if (!File || Buf.empty() || (!Force && Buf.size() < FlushBytes))
+    return;
+  std::FILE *F = static_cast<std::FILE *>(File);
+  size_t Written = std::fwrite(Buf.data(), 1, Buf.size(), F);
+  std::fflush(F);
+  Registry::global().counter("telemetry.trace.file_flushes").add();
+  Registry::global().counter("telemetry.trace.file_bytes").add(Written);
+  if (Written != Buf.size())
+    CloseStatus = Status::error(ErrorCode::IoError, "short write")
+                      .withStage("trace-sink")
+                      .withInput(Path);
+  Buf.clear();
+}
+
+Status FileTraceSink::close() {
+  if (Closed)
+    return CloseStatus;
+  Closed = true;
+  Buf += WroteEvent ? "\n  ]\n}\n" : "]\n}\n";
+  flushBuffer(/*Force=*/true);
+  if (File) {
+    if (std::fclose(static_cast<std::FILE *>(File)) != 0 &&
+        CloseStatus.ok())
+      CloseStatus = Status::error(ErrorCode::IoError, "close failed")
+                        .withStage("trace-sink")
+                        .withInput(Path);
+    File = nullptr;
+  }
+  return CloseStatus;
+}
+
+Status kremlin::telemetry::setTraceSink(std::unique_ptr<TraceSink> Sink,
+                                        TraceSinkConfig Cfg) {
+  Status Prev = closeTraceSink();
+  if (!Sink)
+    return Prev;
+  setTraceRingEvents(Cfg.RingEvents);
+  {
+    SinkState &S = sinkState();
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Sink = std::move(Sink);
+  }
+  SinkPresent.store(true, std::memory_order_relaxed);
+  setTraceEnabled(true);
+  return Prev;
+}
+
+TraceSink *kremlin::telemetry::traceSink() {
+  SinkState &S = sinkState();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  return S.Sink.get();
+}
+
+void kremlin::telemetry::flushTraceRings() {
+  if (!SinkPresent.load(std::memory_order_relaxed))
+    return;
+  writeChunkToSink(drainShards());
+}
+
+Status kremlin::telemetry::closeTraceSink() {
+  std::unique_ptr<TraceSink> Sink;
+  {
+    SinkState &S = sinkState();
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Sink = std::move(S.Sink);
+  }
+  if (!Sink) {
+    SinkPresent.store(false, std::memory_order_relaxed);
+    return Status();
+  }
+  // Residual ring contents belong to this sink; stream them before the
+  // tail is written. SinkPresent stays set so concurrent recorders keep
+  // chunking (their chunks land in the drop accounting once Sink is gone).
+  std::vector<TraceEvent> Residue = drainShards();
+  SinkPresent.store(false, std::memory_order_relaxed);
+  setTraceEnabled(false);
+  if (!Residue.empty()) {
+    size_t N = Residue.size();
+    Sink->writeBatch(std::move(Residue));
+    flushCounter().add();
+    flushedEventsCounter().add(N);
+  }
+  return Sink->close();
+}
+
+void kremlin::telemetry::setTraceRingEvents(size_t TotalEvents) {
+  size_t Cap = perShardCapacity(TotalEvents);
+  ShardCapacity.store(Cap, std::memory_order_relaxed);
+  // Trim shards already above the new capacity, oldest first.
+  for (unsigned I = 0; I < NumTraceShards; ++I) {
+    TraceShard &Shard = shards()[I];
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    if (Shard.Events.size() <= Cap)
+      continue;
+    Shard.normalize();
+    size_t Excess = Shard.Events.size() - Cap;
+    Shard.Events.erase(Shard.Events.begin(),
+                       Shard.Events.begin() + static_cast<ptrdiff_t>(Excess));
+    droppedCounter().add(Excess);
+  }
 }
 
 uint64_t kremlin::telemetry::nowUs() {
@@ -237,55 +503,44 @@ void kremlin::telemetry::counterSample(std::string Name, double Value) {
   recordEvent(std::move(E));
 }
 
-std::vector<TraceEvent> kremlin::telemetry::takeTrace() {
-  std::vector<TraceEvent> Out;
-  for (unsigned I = 0; I < NumShards; ++I) {
-    TraceShard &Shard = shards()[I];
-    std::lock_guard<std::mutex> Lock(Shard.Mutex);
-    Out.insert(Out.end(), std::make_move_iterator(Shard.Events.begin()),
-               std::make_move_iterator(Shard.Events.end()));
-    Shard.Events.clear();
+std::vector<TraceEvent> kremlin::telemetry::takeTrace() { return drainShards(); }
+
+JsonValue kremlin::telemetry::traceEventToJson(const TraceEvent &E) {
+  JsonValue Ev = JsonValue::makeObject();
+  Ev.set("name", JsonValue(E.Name));
+  Ev.set("cat", JsonValue(E.Category));
+  Ev.set("pid", JsonValue(1));
+  Ev.set("tid", JsonValue(E.Tid));
+  Ev.set("ts", JsonValue(static_cast<double>(E.TimeUs)));
+  switch (E.K) {
+  case TraceEvent::Kind::Span:
+    Ev.set("ph", JsonValue("X"));
+    Ev.set("dur", JsonValue(static_cast<double>(E.DurUs)));
+    break;
+  case TraceEvent::Kind::Instant:
+    Ev.set("ph", JsonValue("i"));
+    Ev.set("s", JsonValue("t"));
+    break;
+  case TraceEvent::Kind::CounterSample:
+    Ev.set("ph", JsonValue("C"));
+    break;
   }
-  std::stable_sort(Out.begin(), Out.end(),
-                   [](const TraceEvent &A, const TraceEvent &B) {
-                     return A.TimeUs < B.TimeUs;
-                   });
-  return Out;
+  JsonValue Args = JsonValue::makeObject();
+  if (E.K == TraceEvent::Kind::CounterSample)
+    Args.set("value", JsonValue(E.Value));
+  for (const auto &[Key, Value] : E.Args)
+    Args.set(Key, JsonValue(Value));
+  if (Args.size() > 0)
+    Ev.set("args", std::move(Args));
+  return Ev;
 }
 
 std::string
 kremlin::telemetry::traceToChromeJson(const std::vector<TraceEvent> &Events) {
   JsonValue Doc = JsonValue::makeObject();
   JsonValue Arr = JsonValue::makeArray();
-  for (const TraceEvent &E : Events) {
-    JsonValue Ev = JsonValue::makeObject();
-    Ev.set("name", JsonValue(E.Name));
-    Ev.set("cat", JsonValue(E.Category));
-    Ev.set("pid", JsonValue(1));
-    Ev.set("tid", JsonValue(E.Tid));
-    Ev.set("ts", JsonValue(static_cast<double>(E.TimeUs)));
-    switch (E.K) {
-    case TraceEvent::Kind::Span:
-      Ev.set("ph", JsonValue("X"));
-      Ev.set("dur", JsonValue(static_cast<double>(E.DurUs)));
-      break;
-    case TraceEvent::Kind::Instant:
-      Ev.set("ph", JsonValue("i"));
-      Ev.set("s", JsonValue("t"));
-      break;
-    case TraceEvent::Kind::CounterSample:
-      Ev.set("ph", JsonValue("C"));
-      break;
-    }
-    JsonValue Args = JsonValue::makeObject();
-    if (E.K == TraceEvent::Kind::CounterSample)
-      Args.set("value", JsonValue(E.Value));
-    for (const auto &[Key, Value] : E.Args)
-      Args.set(Key, JsonValue(Value));
-    if (Args.size() > 0)
-      Ev.set("args", std::move(Args));
-    Arr.push(std::move(Ev));
-  }
+  for (const TraceEvent &E : Events)
+    Arr.push(traceEventToJson(E));
   Doc.set("traceEvents", std::move(Arr));
   Doc.set("displayTimeUnit", JsonValue("ms"));
   return Doc.serialize() + "\n";

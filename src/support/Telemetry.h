@@ -7,16 +7,23 @@
 /// \file
 /// Process-wide self-telemetry ("profile the profiler"): a thread-safe
 /// metrics registry (counters, gauges, log2-bucket histograms), RAII Span
-/// scopes recording into a lock-sharded in-memory trace buffer exportable
-/// as Chrome trace_event JSON (chrome://tracing / Perfetto), and a small
+/// scopes recording into a bounded, lock-sharded trace ring that streams
+/// completed chunks through a pluggable TraceSink (in-memory for tests,
+/// buffered incremental Chrome trace_event JSON for files), and a small
 /// leveled structured logger (level via the KREMLIN_LOG env var).
 ///
 /// Cost model: spans and instant events stay compiled-in everywhere
-/// because the disabled path — no trace sink configured — is one relaxed
-/// atomic increment per event (the event counter) with no clock read and
-/// no allocation. Counters and gauges are always live; they are single
-/// relaxed atomic operations. Histograms add a few relaxed increments.
-/// bench_micro_telemetry measures all of these paths.
+/// because the disabled path — tracing off — is one relaxed atomic
+/// increment per event (the event counter) with no clock read and no
+/// allocation. The enabled path is one shard-mutex push into a fixed-size
+/// ring; when a shard fills, the whole chunk is handed to the installed
+/// sink, so sink cost (serialization, file writes) is amortized over the
+/// chunk. With no sink installed the ring is a bounded window: the oldest
+/// event is overwritten and telemetry.trace.dropped counts the loss —
+/// telemetry memory stays constant no matter how long the run. Counters
+/// and gauges are always live; they are single relaxed atomic operations.
+/// Histograms add a few relaxed increments. bench_micro_telemetry
+/// measures all of these paths.
 ///
 /// Hot-path idiom: resolve the metric once, then update through the
 /// reference (registration takes a mutex, updates never do):
@@ -31,6 +38,7 @@
 #define KREMLIN_SUPPORT_TELEMETRY_H
 
 #include "support/Json.h"
+#include "support/Status.h"
 
 #include <atomic>
 #include <bit>
@@ -172,7 +180,7 @@ private:
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
 };
 
-// --- Trace buffer and spans -------------------------------------------------
+// --- Trace ring, sinks, and spans -------------------------------------------
 
 /// One recorded trace event (Chrome trace_event phases X / i / C).
 struct TraceEvent {
@@ -187,10 +195,114 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> Args;
 };
 
-/// Whether a trace sink is configured. When false every span/instant/
-/// counter-sample call degrades to one relaxed counter increment.
+/// Geometry of the trace ring and the file sink's write buffer.
+struct TraceSinkConfig {
+  /// Total ring capacity in events across all shards (--trace-ring-events=).
+  /// 0 restores the default. Per-shard capacity is Total / NumTraceShards,
+  /// floored at 4.
+  size_t RingEvents = 65536;
+  /// File-sink buffer size in KiB (--trace-flush-kb=): serialized JSON
+  /// accumulates until this many KiB, then one fwrite+fflush runs.
+  size_t FlushKb = 64;
+};
+
+/// Number of mutex-sharded ring segments (threads hash onto shards).
+inline constexpr unsigned NumTraceShards = 16;
+
+/// Receives completed event chunks from the trace ring. writeBatch() is
+/// always called under the process-wide sink lock, so implementations need
+/// no synchronization of their own. close() finalizes the output (called
+/// once by closeTraceSink() or the destructor).
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+
+  /// Consumes one flushed ring chunk (events in ring order, one shard).
+  virtual void writeBatch(std::vector<TraceEvent> Batch) = 0;
+
+  /// Finalizes the sink's output; ok unless output could not be completed.
+  virtual Status close() { return Status(); }
+};
+
+/// Accumulates every batch in memory — the test sink, and the model for
+/// the pre-streaming whole-run buffer.
+class InMemoryTraceSink : public TraceSink {
+public:
+  void writeBatch(std::vector<TraceEvent> Batch) override;
+
+  /// Takes the accumulated events (thread-safe; clears the store).
+  std::vector<TraceEvent> take();
+
+private:
+  std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+};
+
+/// Streams valid Chrome trace_event JSON to a file incrementally: the
+/// document header is written on open, each batch appends serialized
+/// events to an in-memory buffer that flushes to disk every FlushKb KiB,
+/// and close() (or destruction) writes the array/object tail — so the file
+/// parses as {"displayTimeUnit": "ms", "traceEvents": [...]} even for
+/// runs long past what an in-memory buffer could hold. Counters:
+/// telemetry.trace.file_flushes / telemetry.trace.file_bytes.
+class FileTraceSink : public TraceSink {
+public:
+  /// Opens \p Path for writing and emits the document header. IoError when
+  /// the file cannot be created.
+  static Expected<std::unique_ptr<FileTraceSink>>
+  open(std::string Path, const TraceSinkConfig &Cfg = TraceSinkConfig());
+
+  ~FileTraceSink() override;
+  void writeBatch(std::vector<TraceEvent> Batch) override;
+  Status close() override;
+
+  const std::string &path() const { return Path; }
+
+private:
+  FileTraceSink() = default;
+
+  void flushBuffer(bool Force);
+
+  std::string Path;
+  void *File = nullptr; ///< std::FILE*, kept opaque to spare the include.
+  std::string Buf;
+  size_t FlushBytes = 64 * 1024;
+  bool WroteEvent = false;
+  bool Closed = false;
+  Status CloseStatus;
+};
+
+/// Whether span/instant/counter-sample calls record. When false they
+/// degrade to one relaxed counter increment.
 bool traceEnabled();
+
+/// Legacy/test switch: enables recording into the bounded ring without a
+/// sink (takeTrace() reads the window back). Turning tracing off does not
+/// touch an installed sink.
 void setTraceEnabled(bool Enabled);
+
+/// Installs \p Sink and enables tracing; the ring geometry switches to
+/// \p Cfg. An already-installed sink is flushed and closed first (its
+/// close status is returned — the new sink is installed regardless).
+/// Passing nullptr closes the current sink and disables tracing.
+Status setTraceSink(std::unique_ptr<TraceSink> Sink,
+                    TraceSinkConfig Cfg = TraceSinkConfig());
+
+/// The installed sink (nullptr when none). Only for tests/inspection;
+/// unsynchronized use while tracing is racy by nature.
+TraceSink *traceSink();
+
+/// Drains the shard rings into the installed sink without closing it.
+/// No-op when no sink is installed.
+void flushTraceRings();
+
+/// flushTraceRings() + sink close + uninstall. Tracing is left disabled.
+/// Returns the sink's close status (ok when no sink was installed).
+Status closeTraceSink();
+
+/// Resizes the ring (0 = default). Events already buffered are preserved
+/// up to the new capacity; oldest are dropped first.
+void setTraceRingEvents(size_t TotalEvents);
 
 /// Microseconds since process start (monotonic).
 uint64_t nowUs();
@@ -202,8 +314,14 @@ void instantEvent(std::string Name, std::string Category,
 /// Records a counter sample (Chrome phase "C") when tracing is enabled.
 void counterSample(std::string Name, double Value);
 
-/// Drains every shard of the trace buffer, sorted by timestamp.
+/// Drains every shard of the trace ring, sorted by timestamp. Does not
+/// touch an installed sink's already-flushed batches; with no sink this
+/// returns the bounded window of most-recent events.
 std::vector<TraceEvent> takeTrace();
+
+/// One event as a Chrome trace_event object (shared by the whole-document
+/// serializer and the streaming file sink).
+JsonValue traceEventToJson(const TraceEvent &E);
 
 /// Serializes events as a Chrome trace_event document:
 ///   {"traceEvents": [...], "displayTimeUnit": "ms"}

@@ -10,8 +10,13 @@
 #include "driver/BenchHarness.h"
 
 #include "support/FaultInjection.h"
+#include "support/Json.h"
 
 #include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
 
 using namespace kremlin;
 
@@ -221,6 +226,75 @@ TEST(BenchHarness, MetricsDiffRendersChanges) {
   // Unchanged metrics are elided from the table.
   EXPECT_EQ(Diff.find("a.y"), std::string::npos) << Diff;
   EXPECT_NE(Diff.find("3 of 4 metrics differ"), std::string::npos) << Diff;
+}
+
+TEST(BenchHarness, SuiteRecordsReportExportCost) {
+  // Every benchmark times its report export; the suite aggregates the
+  // stage under both the generic stage key and the documented
+  // suite.report_wall_ms alias (informational in baselines).
+  const BenchSuiteResult &R = sharedRun();
+  for (const char *Bench : {"ep", "cg"})
+    EXPECT_TRUE(R.Metrics.count(std::string(Bench) + ".report_wall_ms"));
+  ASSERT_TRUE(R.Metrics.count("suite.report_wall_ms"));
+  EXPECT_DOUBLE_EQ(R.Metrics.at("suite.report_wall_ms"),
+                   R.Metrics.at("suite.stage.report_wall_ms"));
+  EXPECT_GE(R.Metrics.at("suite.report_wall_ms"), 0.0);
+}
+
+TEST(BenchHarness, TraceDirWritesPerBenchmarkTraces) {
+  BenchSuiteOptions Opts;
+  Opts.Threads = 2;
+  Opts.Benchmarks = {"ep", "cg"};
+  Opts.TraceDir = ::testing::TempDir() + "/kremlin_bench_traces";
+  BenchSuiteResult R = runBenchSuite(Opts);
+  ASSERT_TRUE(R.succeeded());
+
+  for (const char *Bench : {"ep", "cg"}) {
+    // Each benchmark streams a Chrome trace of its pipeline stages...
+    std::string Json;
+    ASSERT_TRUE(readFileToString(
+        Opts.TraceDir + "/" + Bench + ".json", Json));
+    JsonValue Doc;
+    std::string Error;
+    ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+    const JsonValue *Events = Doc.get("traceEvents");
+    ASSERT_NE(Events, nullptr);
+    EXPECT_GT(Events->size(), 0u);
+    // ...and a speedscope profile of its region tree.
+    ASSERT_TRUE(readFileToString(
+        Opts.TraceDir + "/" + Bench + ".speedscope.json", Json));
+    ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+    EXPECT_GT(Doc.get("shared")->get("frames")->size(), 0u);
+    std::remove((Opts.TraceDir + "/" + Bench + ".json").c_str());
+    std::remove((Opts.TraceDir + "/" + Bench + ".speedscope.json").c_str());
+  }
+}
+
+TEST(BenchHarness, ParseReadsNullMetricsAsNaN) {
+  // The serializer writes non-finite doubles as JSON null; reading such a
+  // snapshot back must yield NaN, not a parse error.
+  MetricMap Out;
+  std::string Error;
+  ASSERT_TRUE(parseMetricsJson(
+      "{\"metrics\": {\"a.rate\": null, \"a.work\": 3}}", Out, &Error))
+      << Error;
+  ASSERT_TRUE(Out.count("a.rate"));
+  EXPECT_TRUE(std::isnan(Out.at("a.rate")));
+  EXPECT_DOUBLE_EQ(Out.at("a.work"), 3.0);
+}
+
+TEST(BenchHarness, MetricsDiffRendersNonFiniteAsNa) {
+  MetricMap A = {{"a.x", 10.0},
+                 {"a.nan", std::numeric_limits<double>::quiet_NaN()},
+                 {"a.inf", std::numeric_limits<double>::infinity()}};
+  MetricMap B = {{"a.x", 10.0}, {"a.nan", 2.0}, {"a.inf", 5.0}};
+  std::string Diff = renderMetricsDiff(A, B);
+  // Non-finite rows are listed with an n/a delta instead of a bogus
+  // percentage (and must not crash the sort).
+  EXPECT_NE(Diff.find("a.nan"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("a.inf"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("n/a"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("2 of 3 metrics differ"), std::string::npos) << Diff;
 }
 
 TEST(BenchHarness, MetricsDiffOfIdenticalMapsIsQuiet) {

@@ -249,6 +249,95 @@ TEST(Cli, TraceAndMetricsOut) {
   std::remove(MetricsPath.c_str());
 }
 
+TEST(Cli, ReportFormatsOnExampleSource) {
+  std::string Example = KREMLIN_EXAMPLES_DIR "/minic/quickstart.c";
+  int Code = 0;
+
+  // Default tree view: region names, loop classes, aligned header.
+  std::string Tree = runTool("report " + Example, Code);
+  EXPECT_EQ(Code, 0) << Tree;
+  EXPECT_NE(Tree.find("main"), std::string::npos);
+  EXPECT_NE(Tree.find("DOALL"), std::string::npos);
+  EXPECT_NE(Tree.find("cov%"), std::string::npos);
+
+  // speedscope JSON written through --out parses and carries the schema.
+  std::string ScopePath = scratchPath("cli_report.speedscope.json");
+  std::string Out = runTool(
+      "report " + Example + " --format=speedscope --out=" + ScopePath, Code);
+  ASSERT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("report written to"), std::string::npos);
+  std::string Json;
+  ASSERT_TRUE(kremlin::readFileToString(ScopePath, Json));
+  kremlin::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(kremlin::JsonValue::parse(Json, Doc, &Error)) << Error;
+  EXPECT_EQ(Doc.get("$schema")->asString(),
+            "https://www.speedscope.app/file-format-schema.json");
+  EXPECT_GT(Doc.get("shared")->get("frames")->size(), 0u);
+  std::remove(ScopePath.c_str());
+
+  // Collapsed stacks: semicolon-joined frames with SP annotations.
+  std::string Collapsed =
+      runTool("report " + Example + " --format=collapsed", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Collapsed.find(';'), std::string::npos);
+  EXPECT_NE(Collapsed.find("SP="), std::string::npos);
+
+  // Timeline JSON parses and reports the program work.
+  std::string Timeline =
+      runTool("report " + Example + " --format=timeline --top=3", Code);
+  EXPECT_EQ(Code, 0);
+  ASSERT_TRUE(kremlin::JsonValue::parse(Timeline, Doc, &Error)) << Error;
+  EXPECT_GT(Doc.getNumber("program_work"), 0.0);
+  EXPECT_LE(Doc.get("regions")->size(), 3u);
+
+  // Unknown formats and missing input fail loudly.
+  runTool("report " + Example + " --format=bogus", Code);
+  EXPECT_NE(Code, 0);
+  runTool("report", Code);
+  EXPECT_NE(Code, 0);
+}
+
+TEST(Cli, ReportFromSavedTrace) {
+  // §2.4 offline workflow: profile once saving the compressed trace, then
+  // re-analyze it later without re-executing the program.
+  std::string TracePath = scratchPath("cli_report_trace.txt");
+  int Code = 0;
+  std::string Out =
+      runTool("--bench=is --save-trace=" + TracePath + " --rows=1", Code);
+  ASSERT_EQ(Code, 0) << Out;
+
+  std::string Report = runTool(
+      "report --bench=is --load-trace=" + TracePath + " --format=speedscope",
+      Code);
+  EXPECT_EQ(Code, 0) << Report;
+  kremlin::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(kremlin::JsonValue::parse(Report, Doc, &Error)) << Error;
+  EXPECT_GT(Doc.get("profiles")->at(0).get("samples")->size(), 0u);
+  std::remove(TracePath.c_str());
+}
+
+TEST(Cli, StatsDiffToleratesNonFiniteMetrics) {
+  // The metrics serializer writes non-finite doubles as JSON null; a diff
+  // across such snapshots must render n/a rows instead of failing (or
+  // feeding NaN into the sort comparator).
+  std::string APath = scratchPath("cli_diff_a.json");
+  std::string BPath = scratchPath("cli_diff_b.json");
+  ASSERT_TRUE(kremlin::writeStringToFile(
+      APath, "{\"metrics\": {\"x.work\": 100, \"x.rate\": null}}"));
+  ASSERT_TRUE(kremlin::writeStringToFile(
+      BPath, "{\"metrics\": {\"x.work\": 150, \"x.rate\": 2.0}}"));
+  int Code = 0;
+  std::string Out = runTool("stats --diff " + APath + " " + BPath, Code);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("x.rate"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("n/a"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("+50"), std::string::npos) << Out; // Finite rows intact.
+  std::remove(APath.c_str());
+  std::remove(BPath.c_str());
+}
+
 TEST(Cli, ExclusionChangesPlan) {
   int Code = 0;
   std::string Before = runTool("--tracking --rows=1", Code);

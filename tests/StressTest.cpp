@@ -10,6 +10,10 @@
 
 #include "planner/Personality.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <future>
 
 using namespace kremlin;
 using namespace kremlin::test;
@@ -156,6 +160,84 @@ TEST(Stress, MinLevelBeyondDepth) {
   for (const RegionProfileEntry &E : Run.Profile->entries())
     if (E.Executed)
       EXPECT_EQ(E.TotalCp, E.TotalWork);
+}
+
+TEST(Stress, ConcurrentTraceWritersStayBoundedWithoutSink) {
+  namespace tel = kremlin::telemetry;
+  // Many times more events than the ring holds: memory must stay at the
+  // configured bound, with every overwrite accounted as a drop.
+  (void)tel::closeTraceSink();
+  tel::takeTrace();
+  tel::Registry::global().resetValues();
+  constexpr size_t RingEvents = tel::NumTraceShards * 8;
+  tel::setTraceRingEvents(RingEvents);
+  tel::setTraceEnabled(true);
+
+  constexpr unsigned Workers = 8;
+  constexpr uint64_t PerWorker = 20000;
+  ThreadPool Pool(Workers);
+  std::vector<std::future<void>> Futures;
+  for (unsigned W = 0; W < Workers; ++W)
+    Futures.push_back(Pool.submit([]() {
+      for (uint64_t I = 0; I < PerWorker; ++I) {
+        tel::Span S("stress.span", "test");
+        S.end();
+      }
+    }));
+  for (auto &F : Futures)
+    F.get();
+  tel::setTraceEnabled(false);
+
+  uint64_t Recorded =
+      tel::Registry::global().counter("telemetry.trace.recorded").value();
+  uint64_t Dropped =
+      tel::Registry::global().counter("telemetry.trace.dropped").value();
+  std::vector<tel::TraceEvent> Remaining = tel::takeTrace();
+  EXPECT_EQ(Recorded, Workers * PerWorker);
+  // Peak telemetry memory is the ring bound, not the event count.
+  EXPECT_LE(Remaining.size(), RingEvents);
+  // Full accounting: every recorded event either still sits in the ring
+  // or was counted as dropped when overwritten.
+  EXPECT_EQ(Dropped + Remaining.size(), Recorded);
+  tel::setTraceRingEvents(0);
+}
+
+TEST(Stress, ConcurrentTraceWritersStreamLosslesslyThroughSink) {
+  namespace tel = kremlin::telemetry;
+  (void)tel::closeTraceSink();
+  tel::takeTrace();
+  tel::Registry::global().resetValues();
+
+  auto Sink = std::make_unique<tel::InMemoryTraceSink>();
+  tel::InMemoryTraceSink *Raw = Sink.get();
+  tel::TraceSinkConfig Cfg;
+  Cfg.RingEvents = tel::NumTraceShards * 8; // Tiny ring: constant chunking.
+  ASSERT_TRUE(tel::setTraceSink(std::move(Sink), Cfg).ok());
+
+  constexpr unsigned Workers = 8;
+  constexpr uint64_t PerWorker = 5000;
+  ThreadPool Pool(Workers);
+  std::vector<std::future<void>> Futures;
+  for (unsigned W = 0; W < Workers; ++W)
+    Futures.push_back(Pool.submit([W]() {
+      for (uint64_t I = 0; I < PerWorker; ++I)
+        tel::instantEvent("stream." + std::to_string(W), "test");
+    }));
+  for (auto &F : Futures)
+    F.get();
+
+  tel::flushTraceRings();
+  std::vector<tel::TraceEvent> Streamed = Raw->take();
+  uint64_t Dropped =
+      tel::Registry::global().counter("telemetry.trace.dropped").value();
+  uint64_t Flushes =
+      tel::Registry::global().counter("telemetry.trace.flushes").value();
+  // The streaming path loses nothing and flushed chunk-wise throughout.
+  EXPECT_EQ(Streamed.size(), Workers * PerWorker);
+  EXPECT_EQ(Dropped, 0u);
+  EXPECT_GT(Flushes, Workers * PerWorker / Cfg.RingEvents / 2);
+  ASSERT_TRUE(tel::closeTraceSink().ok());
+  tel::setTraceRingEvents(0);
 }
 
 } // namespace

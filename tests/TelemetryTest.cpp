@@ -25,18 +25,26 @@ namespace tel = kremlin::telemetry;
 
 namespace {
 
-/// The registry and trace buffer are process-wide; start every test from a
-/// clean slate so order does not matter.
+/// The registry, trace ring, and sink slot are process-wide; start every
+/// test from a clean slate so order does not matter.
 class TelemetryTest : public ::testing::Test {
 protected:
   void SetUp() override {
+    (void)tel::closeTraceSink();
     tel::setTraceEnabled(false);
+    tel::setTraceRingEvents(0); // Back to the default capacity.
     tel::takeTrace();
     tel::Registry::global().resetValues();
   }
   void TearDown() override {
+    (void)tel::closeTraceSink();
     tel::setTraceEnabled(false);
+    tel::setTraceRingEvents(0);
     tel::takeTrace();
+  }
+
+  uint64_t counterValue(const char *Name) {
+    return tel::Registry::global().counter(Name).value();
   }
 };
 
@@ -274,6 +282,158 @@ TEST_F(TelemetryTest, DisabledSpanBumpsEventCounter) {
   { tel::Span S("cheap"); }
   tel::instantEvent("cheap.instant", "test");
   EXPECT_EQ(Events.value(), Before + 2);
+}
+
+TEST_F(TelemetryTest, RingWrapsAndCountsDropsWithoutSink) {
+  // 4 events per shard; a single thread writes to exactly one shard.
+  tel::setTraceRingEvents(tel::NumTraceShards * 4);
+  tel::setTraceEnabled(true);
+  for (int I = 0; I < 10; ++I)
+    tel::instantEvent("wrap." + std::to_string(I), "test");
+  tel::setTraceEnabled(false);
+
+  EXPECT_EQ(counterValue("telemetry.trace.recorded"), 10u);
+  EXPECT_EQ(counterValue("telemetry.trace.dropped"), 6u);
+  std::vector<tel::TraceEvent> Events = tel::takeTrace();
+  ASSERT_EQ(Events.size(), 4u);
+  // The window keeps the newest events in chronological order.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Events[static_cast<size_t>(I)].Name,
+              "wrap." + std::to_string(6 + I));
+}
+
+TEST_F(TelemetryTest, ShrinkingRingTrimsOldestAndCountsDrops) {
+  tel::setTraceEnabled(true);
+  for (int I = 0; I < 6; ++I)
+    tel::instantEvent("trim." + std::to_string(I), "test");
+  tel::setTraceRingEvents(tel::NumTraceShards * 4);
+  tel::setTraceEnabled(false);
+
+  EXPECT_EQ(counterValue("telemetry.trace.dropped"), 2u);
+  std::vector<tel::TraceEvent> Events = tel::takeTrace();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Events.front().Name, "trim.2");
+  EXPECT_EQ(Events.back().Name, "trim.5");
+}
+
+TEST_F(TelemetryTest, InMemorySinkReceivesChunksAndResidue) {
+  auto Sink = std::make_unique<tel::InMemoryTraceSink>();
+  tel::InMemoryTraceSink *Raw = Sink.get();
+  tel::TraceSinkConfig Cfg;
+  Cfg.RingEvents = tel::NumTraceShards * 4;
+  ASSERT_TRUE(tel::setTraceSink(std::move(Sink), Cfg).ok());
+  EXPECT_TRUE(tel::traceEnabled());
+  EXPECT_EQ(tel::traceSink(), Raw);
+
+  for (int I = 0; I < 10; ++I)
+    tel::instantEvent("sink." + std::to_string(I), "test");
+  // Chunk flushes happened mid-run (full ring hands its chunk to the
+  // sink); nothing was dropped on the streaming path.
+  EXPECT_GE(counterValue("telemetry.trace.flushes"), 1u);
+  EXPECT_EQ(counterValue("telemetry.trace.dropped"), 0u);
+
+  tel::flushTraceRings();
+  std::vector<tel::TraceEvent> Events = Raw->take();
+  ASSERT_EQ(Events.size(), 10u);
+  EXPECT_EQ(counterValue("telemetry.trace.flushed_events"), 10u);
+
+  ASSERT_TRUE(tel::closeTraceSink().ok());
+  EXPECT_FALSE(tel::traceEnabled());
+  EXPECT_EQ(tel::traceSink(), nullptr);
+}
+
+TEST_F(TelemetryTest, CloseStreamsResidualRingContents) {
+  auto Sink = std::make_unique<tel::InMemoryTraceSink>();
+  tel::InMemoryTraceSink *Raw = Sink.get();
+  ASSERT_TRUE(tel::setTraceSink(std::move(Sink)).ok());
+  tel::instantEvent("residue", "test");
+  // The event is still in the (far from full) ring, so the sink has not
+  // seen it yet; an explicit flush streams it.
+  EXPECT_TRUE(Raw->take().empty());
+  tel::flushTraceRings();
+  std::vector<tel::TraceEvent> Events = Raw->take();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events.front().Name, "residue");
+  EXPECT_TRUE(tel::closeTraceSink().ok());
+}
+
+TEST_F(TelemetryTest, CloseWithoutSinkIsANoop) {
+  EXPECT_TRUE(tel::closeTraceSink().ok());
+}
+
+TEST_F(TelemetryTest, FileSinkStreamsValidChromeJson) {
+  std::string Path = ::testing::TempDir() + "telemetry_file_sink.json";
+  tel::TraceSinkConfig Cfg;
+  Cfg.RingEvents = tel::NumTraceShards * 4;
+  Cfg.FlushKb = 1; // Tiny buffer: force incremental fwrites.
+  Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+      tel::FileTraceSink::open(Path, Cfg);
+  ASSERT_TRUE(Sink.ok()) << Sink.status().toString();
+  EXPECT_EQ((*Sink)->path(), Path);
+  ASSERT_TRUE(tel::setTraceSink(std::move(*Sink), Cfg).ok());
+
+  for (int I = 0; I < 25; ++I) {
+    tel::Span S("file.span." + std::to_string(I), "test");
+    S.arg("i", std::to_string(I));
+  }
+  ASSERT_TRUE(tel::closeTraceSink().ok());
+  EXPECT_GE(counterValue("telemetry.trace.file_flushes"), 1u);
+  EXPECT_GT(counterValue("telemetry.trace.file_bytes"), 0u);
+
+  std::string Json;
+  ASSERT_TRUE(readFileToString(Path, Json));
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+  const JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  EXPECT_EQ(Events->size(), 25u);
+  EXPECT_EQ(Doc.get("displayTimeUnit")->asString(), "ms");
+}
+
+TEST_F(TelemetryTest, FileSinkFlushesOnDestruction) {
+  std::string Path = ::testing::TempDir() + "telemetry_dtor_sink.json";
+  {
+    Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+        tel::FileTraceSink::open(Path);
+    ASSERT_TRUE(Sink.ok()) << Sink.status().toString();
+    tel::TraceEvent E;
+    E.K = tel::TraceEvent::Kind::Instant;
+    E.Name = "dtor";
+    E.Category = "test";
+    (*Sink)->writeBatch({E});
+    // No close(): the destructor must finalize and flush the document.
+  }
+  std::string Json;
+  ASSERT_TRUE(readFileToString(Path, Json));
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+  ASSERT_EQ(Doc.get("traceEvents")->size(), 1u);
+  EXPECT_EQ(Doc.get("traceEvents")->at(0).get("name")->asString(), "dtor");
+}
+
+TEST_F(TelemetryTest, EmptyFileSinkStillWritesAValidDocument) {
+  std::string Path = ::testing::TempDir() + "telemetry_empty_sink.json";
+  {
+    Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+        tel::FileTraceSink::open(Path);
+    ASSERT_TRUE(Sink.ok()) << Sink.status().toString();
+  }
+  std::string Json;
+  ASSERT_TRUE(readFileToString(Path, Json));
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Json, Doc, &Error)) << Error;
+  EXPECT_EQ(Doc.get("traceEvents")->size(), 0u);
+}
+
+TEST_F(TelemetryTest, FileSinkOpenFailsWithStructuredError) {
+  Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+      tel::FileTraceSink::open("/nonexistent-dir/trace.json");
+  ASSERT_FALSE(Sink.ok());
+  EXPECT_EQ(Sink.status().code(), ErrorCode::IoError);
 }
 
 TEST_F(TelemetryTest, LoggerFiltersByLevel) {
