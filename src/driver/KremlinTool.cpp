@@ -42,6 +42,8 @@
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,6 +90,9 @@ void printUsage() {
       "                                           (default: on in Debug)\n"
       "  --no-static-analysis                     skip the static loop-\n"
       "                                           dependence analyzer\n"
+      "  --no-tape                                execute on the reference\n"
+      "                                           switch engine instead of\n"
+      "                                           the pre-decoded tape\n"
       "The `lint` subcommand runs frontend + static passes only (no\n"
       "execution) and prints per-loop dependence verdicts.\n"
       "The `stats` subcommand runs the same pipeline and renders the\n"
@@ -309,7 +314,48 @@ int benchMain(const std::vector<std::string> &Args) {
                 Failed.size());
       return 1;
     }
-    if (!writeStringToFile(BaselinePath, makeBaselineJson(Result.Metrics))) {
+    MetricMap ToWrite = Result.Metrics;
+    std::string OldJson;
+    if (readFileToString(BaselinePath, OldJson)) {
+      // Never rewrite silently: surface everything that moved beyond its
+      // tolerance against the outgoing baseline — the same per-metric diff
+      // the --check-baseline gate renders — so a refresh that launders a
+      // regression is visible in the run log (and in the CI step summary).
+      BaselineComparison Cmp =
+          compareToBaseline(Result.Metrics, OldJson, Tolerance, Failed);
+      unsigned Moved = 0;
+      for (const MetricDelta &D : Cmp.Deltas)
+        if (!D.Missing && D.RelError > std::abs(D.Tolerance))
+          ++Moved;
+      if (Moved > 0 || Cmp.NumFailed > 0) {
+        std::printf("baseline update: %u metric(s) moved beyond tolerance "
+                    "against %s\n",
+                    Moved, BaselinePath.c_str());
+        for (const MetricDelta &D : Cmp.Deltas)
+          if (!D.Missing && D.RelError > std::abs(D.Tolerance))
+            std::printf("  %-48s %14.4f -> %14.4f  (%+.1f%%)\n",
+                        D.Name.c_str(), D.Expected, D.Actual,
+                        (D.Actual - D.Expected) /
+                            std::max(std::abs(D.Expected), 1e-12) * 100.0);
+      } else {
+        std::printf("baseline update: no metric moved beyond tolerance\n");
+      }
+      // Keep old-baseline metrics this run did not produce (micro-bench
+      // entries recorded by the separate gbench binaries): a suite-only
+      // refresh must not drop them from the gate.
+      MetricMap Old;
+      if (parseMetricsJson(OldJson, Old)) {
+        unsigned Kept = 0;
+        for (const auto &M : Old)
+          if (ToWrite.emplace(M.first, M.second).second)
+            ++Kept;
+        if (Kept > 0)
+          std::printf("baseline update: kept %u metric(s) absent from this "
+                      "run\n",
+                      Kept);
+      }
+    }
+    if (!writeStringToFile(BaselinePath, makeBaselineJson(ToWrite))) {
       tel::logf(tel::LogLevel::Error, "bench", "cannot write '%s'",
                 BaselinePath.c_str());
       return 1;
@@ -439,6 +485,8 @@ int main(int argc, char **argv) {
       Opts.VerifyIR = false;
     } else if (Arg == "--no-static-analysis") {
       Opts.StaticAnalysis = false;
+    } else if (Arg == "--no-tape") {
+      Opts.Interp.UseTape = false;
     } else if (Arg == "--dump-ir") {
       DumpIR = true;
     } else if (Arg == "--stats") {

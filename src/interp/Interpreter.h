@@ -27,10 +27,13 @@
 #include "support/Status.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace kremlin {
+
+struct ModuleTape;
 
 /// Interpreter limits.
 struct InterpConfig {
@@ -40,6 +43,10 @@ struct InterpConfig {
   uint64_t StackWords = 1ull << 22;
   /// C++ call-recursion limit (MiniC recursion depth).
   unsigned MaxCallDepth = 4096;
+  /// Execute via the pre-decoded tape + threaded dispatch (default). The
+  /// switch-based reference engine is kept for differential testing: both
+  /// paths must produce bit-identical results and profiles.
+  bool UseTape = true;
 };
 
 /// Outcome of one execution.
@@ -60,6 +67,7 @@ struct ExecResult {
 class Interpreter {
 public:
   explicit Interpreter(const Module &M, InterpConfig Cfg = InterpConfig());
+  ~Interpreter();
 
   /// Runs main(). \p RT may be null (plain mode) or a fresh runtime
   /// (profiled mode). main must take no parameters.
@@ -70,6 +78,9 @@ private:
   InterpConfig Cfg;
   std::vector<uint64_t> GlobalBase; ///< Word address of each global.
   uint64_t GlobalWords = 0;
+  /// Pre-decoded execution tape, built lazily on the first tape-mode run
+  /// and reused across runs (the module is immutable).
+  std::unique_ptr<ModuleTape> Tape;
 };
 
 } // namespace kremlin

@@ -322,8 +322,43 @@ private:
       return;
     }
     TypedValue Addr = lowerElementAddr(*Sym, Target);
+    // `a[i] = a[i] op x` with a syntactically identical simple index:
+    // route the read-modify-write through the one address register just
+    // computed instead of re-deriving it for the right-hand side. Element
+    // addressing is pure, so this changes nothing observable — it produces
+    // the load/op/store-on-one-address shape the tape decoder fuses into a
+    // TapeLoadOpStore superinstruction.
+    if (S.Value->K == Expr::Kind::Binary &&
+        S.Value->Args[0]->K == Expr::Kind::Index &&
+        S.Value->Args[0]->Name == Target.Name &&
+        sameSimpleIndices(Target, *S.Value->Args[0])) {
+      TypedValue Loaded{B->emitLoad(Sym->Ty, Addr.Reg), Sym->Ty};
+      TypedValue V = convert(lowerBinaryFrom(*S.Value, Loaded), Sym->Ty);
+      B->emitStore(Addr.Reg, V.Reg);
+      return;
+    }
     TypedValue V = convert(lowerExpr(*S.Value), Sym->Ty);
     B->emitStore(Addr.Reg, V.Reg);
+  }
+
+  /// True when two index expression lists are trivially identical — every
+  /// subscript is the same literal or the same variable. Conservative by
+  /// design: anything with computation (or side effects) says no.
+  static bool sameSimpleIndices(const Expr &A, const Expr &B) {
+    if (A.Args.size() != B.Args.size())
+      return false;
+    for (size_t K = 0; K < A.Args.size(); ++K) {
+      const Expr &X = *A.Args[K];
+      const Expr &Y = *B.Args[K];
+      if (X.K == Expr::Kind::IntLit && Y.K == Expr::Kind::IntLit &&
+          X.IntValue == Y.IntValue)
+        continue;
+      if (X.K == Expr::Kind::Var && Y.K == Expr::Kind::Var &&
+          X.Name == Y.Name)
+        continue;
+      return false;
+    }
+    return true;
   }
 
   void lowerIf(const Stmt &S) {
@@ -565,7 +600,12 @@ private:
   }
 
   TypedValue lowerBinary(const Expr &E) {
-    TypedValue L = lowerExpr(*E.Args[0]);
+    return lowerBinaryFrom(E, lowerExpr(*E.Args[0]));
+  }
+
+  /// Lowers \p E with its left operand already evaluated to \p L — lets
+  /// lowerAssign feed a load through a shared address register.
+  TypedValue lowerBinaryFrom(const Expr &E, TypedValue L) {
     TypedValue R = lowerExpr(*E.Args[1]);
     bool IsFloat = L.Ty == Type::Float || R.Ty == Type::Float;
 

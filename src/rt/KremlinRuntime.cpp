@@ -5,8 +5,15 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace kremlin;
+
+namespace {
+/// All-zero control-dependence row for BreakDep operations: lets the onOp
+/// slot loop read through one unconditional pointer.
+const Time ZeroTimes[MaxTrackedLevels] = {};
+} // namespace
 
 KremlinRuntime::KremlinRuntime(const KremlinConfig &Cfg,
                                RegionSummarySink &Sink)
@@ -15,6 +22,9 @@ KremlinRuntime::KremlinRuntime(const KremlinConfig &Cfg,
   assert(Cfg.NumLevels >= 1 && Cfg.NumLevels <= MaxTrackedLevels &&
          "NumLevels outside the supported window");
   CurInstance.assign(Cfg.NumLevels, 0);
+  LevelMaxTimes.assign(Cfg.NumLevels, 0);
+  for (size_t Op = 0; Op < sizeof(LatOf) / sizeof(LatOf[0]); ++Op)
+    LatOf[Op] = Cfg.Latency.latencyFor(static_cast<Opcode>(Op));
 }
 
 void KremlinRuntime::enterRegion(RegionId R) {
@@ -30,8 +40,10 @@ void KremlinRuntime::enterRegion(RegionId R) {
   uint64_t Instance = ++NextInstance;
   if (Level >= Cfg.MinLevel && Level - Cfg.MinLevel < Cfg.NumLevels) {
     // Retag the slot: every shadow cell written by older same-depth regions
-    // now reads as time 0.
+    // now reads as time 0. The fresh region starts with an empty critical
+    // path.
     CurInstance[Level - Cfg.MinLevel] = Instance;
+    LevelMaxTimes[Level - Cfg.MinLevel] = 0;
     ++Stats.LevelRetags;
   }
   ActiveRegion A;
@@ -39,6 +51,8 @@ void KremlinRuntime::enterRegion(RegionId R) {
   A.Instance = Instance;
   Regions.push_back(std::move(A));
   ++Stats.DynRegionEntries;
+  TopWork = &Regions.back().Work;
+  SlotsActive = activeSlots();
 }
 
 void KremlinRuntime::exitRegion(RegionId R) {
@@ -49,11 +63,17 @@ void KremlinRuntime::exitRegion(RegionId R) {
   (void)R;
 
   unsigned Level = depth(); // Level the popped region occupied.
+  TopWork = Regions.empty() ? nullptr : &Regions.back().Work;
+  SlotsActive = activeSlots();
   bool Tracked =
       Level >= Cfg.MinLevel && Level - Cfg.MinLevel < Cfg.NumLevels;
+  // Keep the CdNow invariant: slots at or beyond SlotsActive read 0, so a
+  // later region entry can reactivate this slot without a refresh.
+  if (Tracked)
+    CdNow[Level - Cfg.MinLevel] = 0;
   // Outside the tracked window we never measured availability times; fall
   // back to the serial assumption cp == work so summaries stay well-formed.
-  Time Cp = Tracked ? Top.MaxTime : Top.Work;
+  Time Cp = Tracked ? LevelMaxTimes[Level - Cfg.MinLevel] : Top.Work;
   // Work is a trivial upper bound... cp can exceed work only through
   // control-dependence times carried from sibling iterations; clamp.
   if (Cp > Top.Work)
@@ -85,50 +105,85 @@ void KremlinRuntime::exitRegion(RegionId R) {
 }
 
 void KremlinRuntime::pushFrame(unsigned NumRegs) {
-  Frame F;
+  if (LiveFrames == Frames.size())
+    Frames.emplace_back();
+  Frame &F = Frames[LiveFrames++];
   F.NumRegs = NumRegs;
-  F.Cells.assign(static_cast<size_t>(NumRegs) * Cfg.NumLevels, ShadowCell());
+  // Grow-only; clearing the watermarks invalidates every recycled row at
+  // once (see the Frame doc comment), so no cell is ever re-zeroed here.
+  size_t NeedCells = static_cast<size_t>(NumRegs) * Cfg.NumLevels;
+  if (F.Cells.size() < NeedCells)
+    F.Cells.resize(NeedCells);
+  if (F.RowW.size() < NumRegs)
+    F.RowW.resize(NumRegs);
+  std::memset(F.RowW.data(), 0, static_cast<size_t>(NumRegs) *
+                                    sizeof(uint64_t));
   F.CdBase = CdMerge.size();
-  Frames.push_back(std::move(F));
+  FrameCells = F.Cells.data();
+  FrameRowW = F.RowW.data();
+  CdTop = nullptr; // The new frame has no open control scope yet.
+  refreshCdNow();
 }
 
 void KremlinRuntime::popFrame() {
-  assert(!Frames.empty() && "popFrame with no frames");
+  assert(LiveFrames > 0 && "popFrame with no frames");
+  Frame &F = Frames[LiveFrames - 1];
   // Abandon control dependences opened in this frame (early returns).
-  CdMerge.resize(Frames.back().CdBase);
-  CdPushBlock.resize(Frames.back().CdBase);
+  CdMerge.resize(F.CdBase);
+  CdPushBlock.resize(F.CdBase);
   CdCells.resize(CdMerge.size() * Cfg.NumLevels);
-  Frames.pop_back();
+  --LiveFrames;
+  if (LiveFrames > 0) {
+    Frame &Top = Frames[LiveFrames - 1];
+    FrameCells = Top.Cells.data();
+    FrameRowW = Top.RowW.data();
+  } else {
+    FrameCells = nullptr;
+    FrameRowW = nullptr;
+  }
+  refreshCdTop();
+  refreshCdNow();
 }
 
 void KremlinRuntime::copyParamFromCaller(ValueId DstParam,
                                          ValueId SrcArgInCaller) {
-  assert(Frames.size() >= 2 && "no caller frame");
-  Frame &Callee = Frames[Frames.size() - 1];
-  Frame &Caller = Frames[Frames.size() - 2];
-  for (unsigned Slot = 0; Slot < Cfg.NumLevels; ++Slot)
-    Callee.Cells[static_cast<size_t>(DstParam) * Cfg.NumLevels + Slot] =
-        Caller.Cells[static_cast<size_t>(SrcArgInCaller) * Cfg.NumLevels +
-                     Slot];
+  assert(LiveFrames >= 2 && "no caller frame");
+  Frame &Callee = Frames[LiveFrames - 1];
+  Frame &Caller = Frames[LiveFrames - 2];
+  // The watermark travels with the times: validity is a property of the
+  // write that produced the row, not of the frame holding the copy.
+  uint64_t W = Caller.RowW[SrcArgInCaller];
+  Callee.RowW[DstParam] = W;
+  if (W == 0)
+    return; // Source row unwritten: the copy reads as 0 everywhere.
+  const Time *Src =
+      &Caller.Cells[static_cast<size_t>(SrcArgInCaller) * Cfg.NumLevels];
+  std::copy(Src, Src + Cfg.NumLevels,
+            &Callee.Cells[static_cast<size_t>(DstParam) * Cfg.NumLevels]);
 }
 
 void KremlinRuntime::copyReturnToCaller(ValueId DstInCaller,
                                         ValueId SrcInCallee) {
-  assert(Frames.size() >= 2 && "no caller frame");
-  Frame &Callee = Frames[Frames.size() - 1];
-  Frame &Caller = Frames[Frames.size() - 2];
-  for (unsigned Slot = 0; Slot < Cfg.NumLevels; ++Slot)
-    Caller.Cells[static_cast<size_t>(DstInCaller) * Cfg.NumLevels + Slot] =
-        Callee.Cells[static_cast<size_t>(SrcInCallee) * Cfg.NumLevels + Slot];
+  assert(LiveFrames >= 2 && "no caller frame");
+  Frame &Callee = Frames[LiveFrames - 1];
+  Frame &Caller = Frames[LiveFrames - 2];
+  uint64_t W = Callee.RowW[SrcInCallee];
+  Caller.RowW[DstInCaller] = W;
+  if (W == 0)
+    return; // Source row unwritten: the copy reads as 0 everywhere.
+  const Time *Src =
+      &Callee.Cells[static_cast<size_t>(SrcInCallee) * Cfg.NumLevels];
+  std::copy(Src, Src + Cfg.NumLevels,
+            &Caller.Cells[static_cast<size_t>(DstInCaller) * Cfg.NumLevels]);
 }
 
 void KremlinRuntime::onCondBranch(ValueId CondReg, uint32_t MergeBlock,
                                   uint32_t PushBlock) {
-  unsigned Lat = Cfg.Latency.latencyFor(Opcode::CondBr);
+  unsigned Lat = LatOf[static_cast<size_t>(Opcode::CondBr)];
   addWork(Lat);
   ++Stats.DynInstructions;
   Frame &F = curFrame();
-  unsigned Slots = activeSlots();
+  unsigned Slots = SlotsActive;
 
   // Branch availability per slot: max(enclosing control dep, condition) +
   // latency. When the top entry already targets the same merge block (a
@@ -165,23 +220,29 @@ void KremlinRuntime::onCondBranch(ValueId CondReg, uint32_t MergeBlock,
     CdCells.resize(CdCells.size() + Cfg.NumLevels);
   }
   size_t Base = (CdMerge.size() - 1) * Cfg.NumLevels;
+  Time *LM = LevelMaxTimes.data();
   for (unsigned Slot = 0; Slot < Slots; ++Slot) {
     CdCells[Base + Slot].Tag = CurInstance[Slot];
     CdCells[Base + Slot].T = NewT[Slot];
-    noteTime(Slot, NewT[Slot]);
+    CdNow[Slot] = NewT[Slot]; // Fresh tags: the contribution is NewT.
+    if (NewT[Slot] > LM[Slot])
+      LM[Slot] = NewT[Slot];
   }
-  // Slots beyond the active depth keep stale tags and read as 0.
+  // Slots beyond the active depth keep stale tags and read as 0 (and their
+  // CdNow entries are already 0 by invariant).
+  CdTop = &CdCells[Base]; // resize() above may have moved the storage.
 }
 
 void KremlinRuntime::onOp(Opcode Op, ValueId Dst, ValueId A, ValueId B,
                           bool BreakDepA) {
-  unsigned Lat = Cfg.Latency.latencyFor(Op);
+  unsigned Lat = LatOf[static_cast<size_t>(Op)];
   addWork(Lat);
   ++Stats.DynInstructions;
-  if (Frames.empty())
+  if (LiveFrames == 0)
     return;
-  Frame &F = curFrame();
-  unsigned Slots = activeSlots();
+  const unsigned NL = Cfg.NumLevels;
+  const unsigned Slots = SlotsActive;
+  Time *FC = FrameCells;
 
   // Constant materializations only exist because the IR spells immediates
   // out as instructions; in LLVM they are operands with no availability
@@ -190,74 +251,171 @@ void KremlinRuntime::onOp(Opcode Op, ValueId Dst, ValueId A, ValueId B,
   // would leak into every literal used inside the loop.
   if (Op == Opcode::ConstInt || Op == Opcode::ConstFloat ||
       Op == Opcode::GlobalAddr || Op == Opcode::FrameAddr) {
-    for (unsigned Slot = 0; Slot < Slots; ++Slot)
-      writeRegTime(F, Dst, Slot, 0);
+    // "Available at time 0" and "unwritten row" are indistinguishable to
+    // every reader, so the row write collapses to an O(1) invalidation:
+    // watermark 0 predates every instance id.
+    FrameRowW[Dst] = 0;
     return;
   }
 
+  // Operand watermarks resolved before the destination's is bumped (Dst
+  // may alias A or B); the slot loop is then straight-line maxing over
+  // contiguous times. Unused operands point at an all-zero row under a
+  // zero watermark, keeping the loop free of null checks. Induction/
+  // reduction updates (BreakDepA) ignore both the old value and the
+  // control dependence: the iteration-existence test of a counted loop is
+  // exactly the easy-to-break dependence the rule removes.
+  uint64_t *RW = FrameRowW;
+  const Time *Cd = BreakDepA ? ZeroTimes : CdNow;
+  bool UseA = A != NoValue && !BreakDepA;
+  const uint64_t WA = UseA ? RW[A] : 0;
+  const Time *TA = UseA ? FC + static_cast<size_t>(A) * NL : ZeroTimes;
+  const uint64_t WB = B != NoValue ? RW[B] : 0;
+  const Time *TB =
+      B != NoValue ? FC + static_cast<size_t>(B) * NL : ZeroTimes;
+  Time *TDst = nullptr;
+  if (Dst != NoValue) {
+    TDst = FC + static_cast<size_t>(Dst) * NL;
+    RW[Dst] = NextInstance;
+  }
+  const uint64_t *Inst = CurInstance.data();
+  Time *LM = LevelMaxTimes.data();
   for (unsigned Slot = 0; Slot < Slots; ++Slot) {
-    // Induction/reduction updates (BreakDepA) ignore both the old value and
-    // the control dependence: the iteration-existence test of a counted
-    // loop is exactly the easy-to-break dependence the rule removes.
-    Time T = BreakDepA ? 0 : controlDepTime(Slot);
-    if (A != NoValue && !BreakDepA) {
-      Time Ta = readRegTime(F, A, Slot);
-      if (Ta > T)
-        T = Ta;
-    }
-    if (B != NoValue) {
-      Time Tb = readRegTime(F, B, Slot);
-      if (Tb > T)
-        T = Tb;
-    }
+    uint64_t Id = Inst[Slot];
+    Time T = Cd[Slot];
+    Time Ta = Id <= WA ? TA[Slot] : 0;
+    T = Ta > T ? Ta : T;
+    Time Tb = Id <= WB ? TB[Slot] : 0;
+    T = Tb > T ? Tb : T;
     T += Lat;
-    if (Dst != NoValue)
-      writeRegTime(F, Dst, Slot, T);
-    noteTime(Slot, T);
+    if (TDst)
+      TDst[Slot] = T;
+    LM[Slot] = T > LM[Slot] ? T : LM[Slot];
   }
 }
 
 void KremlinRuntime::onLoad(ValueId Dst, ValueId AddrReg, uint64_t Addr) {
-  unsigned Lat = Cfg.Latency.latencyFor(Opcode::Load);
+  unsigned Lat = LatOf[static_cast<size_t>(Opcode::Load)];
   addWork(Lat);
   ++Stats.DynInstructions;
   ++Stats.Loads;
-  Frame &F = curFrame();
-  unsigned Slots = activeSlots();
+  const unsigned Slots = SlotsActive;
+  if (Slots == 0)
+    return;
+  const unsigned NL = Cfg.NumLevels;
+  Time *FC = FrameCells;
+  // One page-table lookup shadows the word for every level; the per-slot
+  // tally matches the per-slot read() calls of the pre-paging runtime.
+  Memory.noteReads(Slots);
+  const ShadowCell *MC = Memory.wordCells(Addr);
+  const Time *Cd = CdNow;
+  uint64_t *RW = FrameRowW;
+  const uint64_t WAddr = RW[AddrReg];
+  const Time *TAddr = FC + static_cast<size_t>(AddrReg) * NL;
+  Time *TDst = FC + static_cast<size_t>(Dst) * NL;
+  RW[Dst] = NextInstance;
+  const uint64_t *Inst = CurInstance.data();
+  Time *LM = LevelMaxTimes.data();
   for (unsigned Slot = 0; Slot < Slots; ++Slot) {
-    Time T = controlDepTime(Slot);
-    Time Ta = readRegTime(F, AddrReg, Slot);
-    if (Ta > T)
-      T = Ta;
-    Time Tm = Memory.read(Addr, Slot, CurInstance[Slot]);
-    if (Tm > T)
-      T = Tm;
+    uint64_t Id = Inst[Slot];
+    Time T = Cd[Slot];
+    Time Ta = Id <= WAddr ? TAddr[Slot] : 0;
+    T = Ta > T ? Ta : T;
+    if (MC && MC[Slot].Tag == Id && MC[Slot].T > T)
+      T = MC[Slot].T;
     T += Lat;
-    writeRegTime(F, Dst, Slot, T);
-    noteTime(Slot, T);
+    TDst[Slot] = T;
+    LM[Slot] = T > LM[Slot] ? T : LM[Slot];
   }
 }
 
 void KremlinRuntime::onStore(ValueId ValReg, ValueId AddrReg, uint64_t Addr) {
-  unsigned Lat = Cfg.Latency.latencyFor(Opcode::Store);
+  unsigned Lat = LatOf[static_cast<size_t>(Opcode::Store)];
   addWork(Lat);
   ++Stats.DynInstructions;
   ++Stats.Stores;
-  Frame &F = curFrame();
-  unsigned Slots = activeSlots();
+  const unsigned Slots = SlotsActive;
+  if (Slots == 0)
+    return;
+  const unsigned NL = Cfg.NumLevels;
+  Time *FC = FrameCells;
+  Memory.noteWrites(Slots);
+  // Allocate the page once for all slots; nullptr (budget trip / injected
+  // fault) drops the shadow writes exactly like per-slot write() did.
+  ShadowCell *MC = Memory.wordCellsForWrite(Addr);
+  const Time *Cd = CdNow;
+  const uint64_t *RW = FrameRowW;
+  const uint64_t WVal = RW[ValReg];
+  const Time *TVal = FC + static_cast<size_t>(ValReg) * NL;
+  const uint64_t WAddr = RW[AddrReg];
+  const Time *TAddr = FC + static_cast<size_t>(AddrReg) * NL;
+  const uint64_t *Inst = CurInstance.data();
+  Time *LM = LevelMaxTimes.data();
   for (unsigned Slot = 0; Slot < Slots; ++Slot) {
-    Time T = controlDepTime(Slot);
-    Time Tv = readRegTime(F, ValReg, Slot);
-    if (Tv > T)
-      T = Tv;
-    Time Ta = readRegTime(F, AddrReg, Slot);
-    if (Ta > T)
-      T = Ta;
+    uint64_t Id = Inst[Slot];
+    Time T = Cd[Slot];
+    Time Tv = Id <= WVal ? TVal[Slot] : 0;
+    T = Tv > T ? Tv : T;
+    Time Ta = Id <= WAddr ? TAddr[Slot] : 0;
+    T = Ta > T ? Ta : T;
     T += Lat;
     // True (flow) dependences only: the previous time at this address is
     // deliberately ignored — anti and output dependences are false
     // dependences that an ideal parallelization removes (§4.1).
-    Memory.write(Addr, Slot, CurInstance[Slot], T);
-    noteTime(Slot, T);
+    if (MC) {
+      MC[Slot].Tag = Id;
+      MC[Slot].T = T;
+    }
+    LM[Slot] = T > LM[Slot] ? T : LM[Slot];
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// The batch loop is the profiled execution's hot spine: inline every hook
+// into it so the per-event cost is the switch dispatch plus the (cached)
+// hook body, with no call overhead.
+__attribute__((flatten))
+#endif
+void KremlinRuntime::consumeBatch(const ProfEvent *Ev, size_t N) {
+  for (size_t I = 0; I < N; ++I) {
+    const ProfEvent &E = Ev[I];
+    switch (static_cast<EvKind>(E.Kind)) {
+    case EvKind::Op:
+      onOp(static_cast<Opcode>(E.Opc), E.A, E.B, E.C, (E.Flags & 1) != 0);
+      break;
+    case EvKind::Load:
+      onLoad(E.A, E.B, E.Addr);
+      break;
+    case EvKind::Store:
+      onStore(E.A, E.B, E.Addr);
+      break;
+    case EvKind::CondBranch:
+      onCondBranch(E.A, E.B, E.C);
+      break;
+    case EvKind::BlockEntry:
+      popControlDepsAtBlock(E.A);
+      break;
+    case EvKind::RegionEnter:
+      enterRegion(E.A);
+      break;
+    case EvKind::RegionExit:
+      exitRegion(E.A);
+      break;
+    case EvKind::PushFrame:
+      pushFrame(E.A);
+      break;
+    case EvKind::PopFrame:
+      popFrame();
+      break;
+    case EvKind::CopyParam:
+      copyParamFromCaller(E.A, E.B);
+      break;
+    case EvKind::CopyReturn:
+      copyReturnToCaller(E.A, E.B);
+      break;
+    case EvKind::ReleaseRange:
+      Memory.releaseRange(E.Addr, E.words());
+      break;
+    }
   }
 }

@@ -18,11 +18,12 @@
 /// work, and report cp == work (serial assumption), which keeps parent
 /// summaries well-formed.
 ///
-/// Stale-data rejection: each level slot has a current region-instance id;
-/// every shadow cell (registers, memory, control-dependence entries) is
-/// tagged by the instance that wrote it and reads as time 0 under a tag
-/// mismatch — the paper's mechanism for safely sharing one slot among all
-/// same-depth regions.
+/// Stale-data rejection: each level slot has a current region-instance id.
+/// Memory and control-dependence shadow cells are tagged by the instance
+/// that wrote them and read as time 0 under a tag mismatch — the paper's
+/// mechanism for safely sharing one slot among all same-depth regions.
+/// Register rows use an equivalent but cheaper form: one per-row watermark
+/// compared against the slot's current instance id (see Frame).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +31,7 @@
 #define KREMLIN_RT_KREMLINRUNTIME_H
 
 #include "ir/Instruction.h"
+#include "rt/ProfEvent.h"
 #include "rt/RegionSummary.h"
 #include "rt/ShadowMemory.h"
 #include "rt/Timestamp.h"
@@ -127,6 +129,20 @@ public:
   void onLoad(ValueId Dst, ValueId AddrReg, uint64_t Addr);
   void onStore(ValueId ValReg, ValueId AddrReg, uint64_t Addr);
 
+  /// Accounts \p N zero-latency instructions whose shadow effect was proven
+  /// a no-op at decode time (single-writer constant materializations: their
+  /// rows only ever read as time 0, exactly like untouched rows). The
+  /// event stream elides them and reports the tally in bulk at each flush.
+  void noteFreeOps(uint64_t N) { Stats.DynInstructions += N; }
+
+  // --- Batched event consumption ------------------------------------------
+
+  /// Consumes \p N events in order, dispatching each onto the hook it
+  /// encodes (see EvKind). This is the narrow API the interpreter's tape
+  /// engine produces into: same hooks, same order, bit-identical profiles —
+  /// but the whole batch runs as one tight loop on the consumption side.
+  void consumeBatch(const ProfEvent *Ev, size_t N);
+
   /// Releases shadow segments for a frame's array storage when it dies.
   void releaseShadowRange(uint64_t Addr, uint64_t Words) {
     Memory.releaseRange(Addr, Words);
@@ -153,23 +169,50 @@ public:
   }
   /// Running critical-path max of the innermost region (testing aid).
   Time currentMaxTime() const {
-    return Regions.empty() ? 0 : Regions.back().MaxTime;
+    if (Regions.empty())
+      return 0;
+    unsigned Level = depth() - 1;
+    if (Level >= Cfg.MinLevel && Level - Cfg.MinLevel < Cfg.NumLevels)
+      return LevelMaxTimes[Level - Cfg.MinLevel];
+    return 0; // Outside the window no availability times are measured.
   }
 
 private:
-  /// One active dynamic region (a region-stack entry).
+  /// One active dynamic region (a region-stack entry). Its running
+  /// critical-path max lives in LevelMaxTimes[its slot], not here: the hooks
+  /// update every active slot per instruction, and a dense per-slot array
+  /// turns that into a streaming update instead of a strided walk over this
+  /// (fat) struct.
   struct ActiveRegion {
     RegionId Static = NoRegion;
     uint64_t Instance = 0;
-    Time MaxTime = 0;
     uint64_t Work = 0;
     /// Accumulated (child character, count); sorted at exit.
     std::vector<std::pair<SummaryChar, uint64_t>> Children;
   };
 
-  /// One shadow register frame.
+  /// One shadow register frame. Register rows carry a single watermark
+  /// instead of per-slot instance tags: RowW[r] is the value NextInstance
+  /// had when row r was last written (0 = never written this frame use),
+  /// and slot s of the row is valid iff CurInstance[s] <= RowW[r].
+  ///
+  /// Why that one comparison is exact: instance ids come from one monotone
+  /// counter, so ids issued after the write are strictly greater than W.
+  ///  * A slot retagged after the write (its region exited/re-entered)
+  ///    carries a fresher id than W — invalid, reads 0. Correct: the write
+  ///    belonged to a dead instance.
+  ///  * A slot that was INACTIVE at the write (deeper nesting entered
+  ///    later) also carries a fresher id — so the garbage Cells beyond the
+  ///    slots the write actually covered are provably unreachable, which
+  ///    is what lets pushFrame recycle rows with a NumRegs x 8-byte
+  ///    watermark clear instead of a NumRegs x NumLevels x 16-byte
+  ///    cell fill, and lets rows drop tags entirely (half the traffic the
+  ///    per-instruction hooks move).
+  ///  * A slot active and un-retagged since the write has its id <= W —
+  ///    valid, reads the written time.
   struct Frame {
-    std::vector<ShadowCell> Cells; ///< NumRegs x NumLevels.
+    std::vector<Time> Cells;    ///< NumRegs x NumLevels availability times.
+    std::vector<uint64_t> RowW; ///< Per-row write watermark.
     unsigned NumRegs = 0;
     size_t CdBase = 0; ///< Control-dep stack watermark at frame entry.
   };
@@ -181,7 +224,12 @@ private:
   Status Err;
 
   std::vector<ActiveRegion> Regions;
+  /// Frame pool: entries [0, LiveFrames) are live; popped frames keep their
+  /// Cells storage so call-heavy programs stop paying one allocation per
+  /// call. Recycled cells are never re-zeroed: clearing the row watermarks
+  /// invalidates every row at once (see Frame).
   std::vector<Frame> Frames;
+  size_t LiveFrames = 0;
   /// Current region-instance id per level slot.
   std::vector<uint64_t> CurInstance;
   uint64_t NextInstance = 0;
@@ -192,9 +240,65 @@ private:
   std::vector<uint32_t> CdPushBlock;
   std::vector<ShadowCell> CdCells;
 
+  // --- Hot-path caches ----------------------------------------------------
+  // The per-instruction hooks run tens of millions of times per execution;
+  // everything they would otherwise re-derive per call is kept here and
+  // refreshed by the (rare) events that invalidate it: frame push/pop,
+  // region enter/exit, control-dependence push/pop.
+
+  /// Running critical-path max per level slot (the active regions' MaxTime,
+  /// densely). Synced with the region stack at enter (slot reset to 0) and
+  /// exit (read back as the popped region's cp).
+  std::vector<Time> LevelMaxTimes;
+  /// curFrame().Cells.data(); nullptr with no live frame.
+  Time *FrameCells = nullptr;
+  /// curFrame().RowW.data(), mirrored here so the hooks validate rows
+  /// without touching the Frames vector.
+  uint64_t *FrameRowW = nullptr;
+  /// cdTopCells(), maintained incrementally.
+  const ShadowCell *CdTop = nullptr;
+  /// The top control dependence's contribution per slot under the CURRENT
+  /// instance tags: CdNow[s] = CdTop[s].T if its tag matches, else 0.
+  /// Shadow cells only change meaning at control events (branch push/pop,
+  /// frame push/pop, region enter/exit) — all of them rare next to the
+  /// tens of millions of onOp calls that read this — so the tag check is
+  /// hoisted out of the per-instruction slot loops. Invariant: slots at or
+  /// beyond SlotsActive are always 0, so a region entry activating a new
+  /// slot needs no refresh.
+  Time CdNow[MaxTrackedLevels] = {};
+  /// &Regions.back().Work; nullptr with an empty region stack.
+  uint64_t *TopWork = nullptr;
+  /// activeSlots(), maintained at region enter/exit.
+  unsigned SlotsActive = 0;
+  /// Per-opcode latency, flattened from Cfg.Latency at construction.
+  unsigned LatOf[static_cast<size_t>(Opcode::RegionExit) + 1] = {};
+
+  void refreshCdTop() {
+    CdTop = (LiveFrames > 0 &&
+             CdMerge.size() > Frames[LiveFrames - 1].CdBase)
+                ? &CdCells[(CdMerge.size() - 1) * Cfg.NumLevels]
+                : nullptr;
+  }
+
+  void refreshCdNow() {
+    unsigned Slots = SlotsActive;
+    if (CdTop)
+      for (unsigned Slot = 0; Slot < Slots; ++Slot)
+        CdNow[Slot] =
+            CdTop[Slot].Tag == CurInstance[Slot] ? CdTop[Slot].T : 0;
+    else
+      Slots = 0;
+    for (unsigned Slot = Slots; Slot < Cfg.NumLevels; ++Slot)
+      CdNow[Slot] = 0;
+  }
+
   Frame &curFrame() {
-    assert(!Frames.empty() && "no active frame");
-    return Frames.back();
+    assert(LiveFrames > 0 && "no active frame");
+    return Frames[LiveFrames - 1];
+  }
+  const Frame &curFrame() const {
+    assert(LiveFrames > 0 && "no active frame");
+    return Frames[LiveFrames - 1];
   }
 
   /// Number of level slots active right now: levels [MinLevel, depth)
@@ -207,43 +311,26 @@ private:
     return Active < Cfg.NumLevels ? Active : Cfg.NumLevels;
   }
 
+  /// Availability time of register \p Reg at \p Slot in frame \p F (the
+  /// watermark check from the Frame doc comment). Cold-path helper; the
+  /// hooks hoist the row pointer and watermark out of their slot loops.
   Time readRegTime(const Frame &F, ValueId Reg, unsigned Slot) const {
-    const ShadowCell &Cell = F.Cells[static_cast<size_t>(Reg) *
-                                         Cfg.NumLevels +
-                                     Slot];
-    return Cell.Tag == CurInstance[Slot] ? Cell.T : 0;
-  }
-
-  void writeRegTime(Frame &F, ValueId Reg, unsigned Slot, Time T) {
-    ShadowCell &Cell =
-        F.Cells[static_cast<size_t>(Reg) * Cfg.NumLevels + Slot];
-    Cell.Tag = CurInstance[Slot];
-    Cell.T = T;
-  }
-
-  Time controlDepTime(unsigned Slot) const {
-    if (CdMerge.size() <= Frames.back().CdBase)
-      return 0;
-    const ShadowCell &Cell =
-        CdCells[(CdMerge.size() - 1) * Cfg.NumLevels + Slot];
-    return Cell.Tag == CurInstance[Slot] ? Cell.T : 0;
+    return CurInstance[Slot] <= F.RowW[Reg]
+               ? F.Cells[static_cast<size_t>(Reg) * Cfg.NumLevels + Slot]
+               : 0;
   }
 
   void popControlDep() {
     CdMerge.pop_back();
     CdPushBlock.pop_back();
     CdCells.resize(CdCells.size() - Cfg.NumLevels);
-  }
-
-  void noteTime(unsigned Slot, Time T) {
-    ActiveRegion &R = Regions[Cfg.MinLevel + Slot];
-    if (T > R.MaxTime)
-      R.MaxTime = T;
+    refreshCdTop();
+    refreshCdNow();
   }
 
   void addWork(uint64_t Lat) {
-    if (!Regions.empty())
-      Regions.back().Work += Lat;
+    if (TopWork)
+      *TopWork += Lat;
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include "TestUtil.h"
 
+#include "interp/Tape.h"
+
 using namespace kremlin;
 using namespace kremlin::test;
 
@@ -219,6 +221,121 @@ TEST(Interp, ProfiledRunMatchesPlainSemantics) {
   int64_t Plain = runPlain(Src);
   ProfiledRun Run = profileSource(Src);
   EXPECT_EQ(Run.Exec.ExitValue, Plain);
+}
+
+// --- Execution tape ------------------------------------------------------
+
+/// Decodes \p Source into tape form (instrumented, as the profiled path
+/// sees it) and returns the tape of the function named \p Func.
+const TapeFunction &tapeOf(std::unique_ptr<Module> &M, ModuleTape &Tape,
+                           const std::string &Func) {
+  for (size_t F = 0; F < M->Functions.size(); ++F)
+    if (M->Functions[F].Name == Func)
+      return Tape.Funcs[F];
+  ADD_FAILURE() << "no function named " << Func;
+  return Tape.Funcs[0];
+}
+
+std::pair<std::unique_ptr<Module>, std::unique_ptr<ModuleTape>>
+decodeTape(const std::string &Source) {
+  std::unique_ptr<Module> M = compileOrDie(Source);
+  instrumentModule(*M);
+  std::vector<uint64_t> GlobalBase(M->Globals.size(), 0);
+  return {std::move(M), std::make_unique<ModuleTape>(*M, GlobalBase)};
+}
+
+TEST(Tape, FusesCompareBranchInLoopHeader) {
+  // A counted loop's header compares the induction variable and branches
+  // on the result; the decoder must collapse that pair into one TapeCmpBr
+  // superinstruction (the compare result has no other reader).
+  auto [M, Tape] = decodeTape(
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }");
+  const TapeFunction &F = tapeOf(M, *Tape, "main");
+  EXPECT_GE(F.FusedCmpBr, 1u);
+  unsigned Seen = 0;
+  for (const TapeInst &I : F.Code)
+    if (I.Op == TapeCmpBr) {
+      ++Seen;
+      EXPECT_LT(I.SubOp, static_cast<uint8_t>(Opcode::RegionEnter));
+    }
+  EXPECT_EQ(Seen, F.FusedCmpBr);
+}
+
+TEST(Tape, FusesLoadOpStore) {
+  // a[i] = a[i] + v lowers to load/binop/store on one address register;
+  // the decoder fuses the triple when the intermediate values are dead.
+  auto [M, Tape] = decodeTape(
+      "int a[16];"
+      "int main() { for (int i = 0; i < 16; i = i + 1) { a[i] = a[i] + 3; }"
+      " return a[5]; }");
+  const TapeFunction &F = tapeOf(M, *Tape, "main");
+  EXPECT_GE(F.FusedLoadOpStore, 1u);
+  unsigned Seen = 0;
+  for (const TapeInst &I : F.Code)
+    if (I.Op == TapeLoadOpStore)
+      ++Seen;
+  EXPECT_EQ(Seen, F.FusedLoadOpStore);
+}
+
+TEST(Tape, ElidesSingleWriterConstEvents) {
+  // Constants with a single static writer are marked NoEmitFlag: their
+  // profiling event is elided (the zeroed frame row already encodes
+  // "available at time 0") and only the instruction count is kept.
+  auto [M, Tape] = decodeTape("int main() { int a = 4; int b = 38;"
+                              " return a + b; }");
+  const TapeFunction &F = tapeOf(M, *Tape, "main");
+  unsigned Elided = 0;
+  for (const TapeInst &I : F.Code)
+    if (I.Flags & NoEmitFlag) {
+      ++Elided;
+      EXPECT_TRUE(I.Op == static_cast<uint8_t>(Opcode::ConstInt) ||
+                  I.Op == static_cast<uint8_t>(Opcode::ConstFloat) ||
+                  I.Op == static_cast<uint8_t>(Opcode::GlobalAddr) ||
+                  I.Op == static_cast<uint8_t>(Opcode::FrameAddr));
+    }
+  EXPECT_GE(Elided, 2u); // At least the two integer literals.
+}
+
+TEST(Tape, EveryBlockEndsInTerminator) {
+  // The decoder appends TapeHalt only for unterminated (unverified) IR;
+  // well-formed modules must never contain it.
+  auto [M, Tape] = decodeTape(
+      "int f(int x) { if (x > 2) { return x * 2; } return x; }"
+      "int main() { return f(7) + f(1); }");
+  for (const TapeFunction &F : Tape->Funcs)
+    for (const TapeInst &I : F.Code)
+      EXPECT_NE(I.Op, TapeHalt);
+}
+
+TEST(Tape, FusionPreservesProfiledSemantics) {
+  // Deterministic spot check on a program dense in both fusion shapes
+  // (the randomized sweep in PropertyTest covers the general case).
+  const char *Src = R"(
+    int a[64];
+    int main() {
+      for (int i = 0; i < 64; i = i + 1) { a[i] = i; }
+      for (int r = 0; r < 8; r = r + 1) {
+        for (int i = 0; i < 64; i = i + 1) { a[i] = a[i] + r; }
+        for (int i = 0; i < 64; i = i + 1) { a[i] = a[i] * 3; }
+      }
+      int s = 0;
+      for (int i = 0; i < 64; i = i + 1) { s = s + a[i] % 97; }
+      return s;
+    }
+  )";
+  InterpConfig TapeCfg;
+  TapeCfg.UseTape = true;
+  InterpConfig RefCfg;
+  RefCfg.UseTape = false;
+  ProfiledRun A = profileSource(Src, KremlinConfig(), TapeCfg);
+  ProfiledRun B = profileSource(Src, KremlinConfig(), RefCfg);
+  EXPECT_EQ(A.Exec.ExitValue, B.Exec.ExitValue);
+  EXPECT_EQ(A.Exec.DynInstructions, B.Exec.DynInstructions);
+  ASSERT_EQ(A.Dict->alphabet().size(), B.Dict->alphabet().size());
+  for (size_t C = 0; C < A.Dict->alphabet().size(); ++C)
+    EXPECT_TRUE(A.Dict->alphabet()[C] == B.Dict->alphabet()[C]);
+  EXPECT_EQ(A.Dict->roots(), B.Dict->roots());
 }
 
 } // namespace

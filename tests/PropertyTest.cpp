@@ -64,11 +64,19 @@ private:
                           (unsigned long long)Rng.nextInRange(2, 5),
                           (unsigned long long)Rng.nextInRange(1, 9));
       break;
-    case 1: // Memory write.
+    case 1: // Memory write; sometimes the read-modify-write shape the
+            // tape decoder fuses into a LoadOpStore superinstruction.
       indent(Depth);
-      Src += formatString("mem[((v %% 64 + 64) + %llu) %% 64] = v + %llu;\n",
-                          (unsigned long long)Rng.nextBelow(64),
-                          (unsigned long long)Rng.nextBelow(100));
+      if (Rng.nextBool(0.35)) {
+        unsigned long long Cell = Rng.nextBelow(64);
+        Src += formatString("mem[%llu] = mem[%llu] %s %llu;\n", Cell, Cell,
+                            Rng.nextBool(0.5) ? "+" : "*",
+                            (unsigned long long)Rng.nextInRange(1, 9));
+      } else {
+        Src += formatString("mem[((v %% 64 + 64) + %llu) %% 64] = v + %llu;\n",
+                            (unsigned long long)Rng.nextBelow(64),
+                            (unsigned long long)Rng.nextBelow(100));
+      }
       break;
     case 2: // Memory read.
       indent(Depth);
@@ -157,6 +165,42 @@ TEST_P(PipelineProperty, ProfiledSemanticsMatchPlain) {
   int64_t Plain = runPlain(P.source());
   ProfiledRun Run = profileSource(P.source());
   EXPECT_EQ(Run.Exec.ExitValue, Plain);
+}
+
+TEST_P(PipelineProperty, TapeMatchesReferenceEngine) {
+  // The pre-decoded tape (threaded dispatch, superinstruction fusion,
+  // const-event elision) is an execution-strategy change only: against the
+  // switch-based reference engine it must produce the same exit value, the
+  // same dynamic instruction count, and a bit-identical profile — same
+  // summary alphabet (static region, work, cp, child multiset), same root
+  // string, and same per-region profile metrics.
+  RandomProgram P(GetParam());
+  SCOPED_TRACE(P.source());
+  InterpConfig TapeCfg;
+  TapeCfg.UseTape = true;
+  InterpConfig RefCfg;
+  RefCfg.UseTape = false;
+  ProfiledRun A = profileSource(P.source(), KremlinConfig(), TapeCfg);
+  ProfiledRun B = profileSource(P.source(), KremlinConfig(), RefCfg);
+  EXPECT_EQ(A.Exec.ExitValue, B.Exec.ExitValue);
+  EXPECT_EQ(A.Exec.DynInstructions, B.Exec.DynInstructions);
+  ASSERT_EQ(A.Dict->alphabet().size(), B.Dict->alphabet().size());
+  for (size_t C = 0; C < A.Dict->alphabet().size(); ++C)
+    EXPECT_TRUE(A.Dict->alphabet()[C] == B.Dict->alphabet()[C])
+        << "summary " << C << " diverges";
+  EXPECT_EQ(A.Dict->roots(), B.Dict->roots());
+  EXPECT_EQ(A.Dict->numDynamicRegions(), B.Dict->numDynamicRegions());
+  ASSERT_EQ(A.Profile->entries().size(), B.Profile->entries().size());
+  for (size_t R = 0; R < A.Profile->entries().size(); ++R) {
+    const RegionProfileEntry &EA = A.Profile->entries()[R];
+    const RegionProfileEntry &EB = B.Profile->entries()[R];
+    EXPECT_EQ(EA.Executed, EB.Executed);
+    EXPECT_EQ(EA.TotalWork, EB.TotalWork);
+    EXPECT_EQ(EA.TotalCp, EB.TotalCp);
+    EXPECT_EQ(EA.Instances, EB.Instances);
+    EXPECT_EQ(EA.SelfParallelism, EB.SelfParallelism);
+    EXPECT_EQ(EA.TotalParallelism, EB.TotalParallelism);
+  }
 }
 
 TEST_P(PipelineProperty, SummaryInvariants) {

@@ -267,4 +267,140 @@ TEST(Runtime, StatsCounters) {
   EXPECT_GT(RT.stats().DynInstructions, 4u);
 }
 
+// --- Page pool and frame-row watermarks ----------------------------------
+
+TEST(ShadowMemory, PoolRecyclesReleasedPagesZeroed) {
+  ShadowMemory Mem(4, /*SegmentWords=*/256);
+  for (uint64_t A = 0; A < 1024; A += 64)
+    Mem.write(A, 0, /*Tag=*/1, /*T=*/A + 1);
+  EXPECT_EQ(Mem.allocatedSegments(), 4u);
+  Mem.releaseRange(0, 1024);
+  EXPECT_EQ(Mem.allocatedSegments(), 0u);
+  EXPECT_EQ(Mem.releasedSegments(), 4u);
+  // A write to a far page must be served from the pool (no new slab page)
+  // and the recycled page must come back zeroed: the old tags would
+  // otherwise alias a later region instance.
+  Mem.write(/*Addr=*/1 << 20, 0, /*Tag=*/1, /*T=*/9);
+  EXPECT_EQ(Mem.allocatedSegments(), 1u);
+  EXPECT_EQ(Mem.read(1 << 20, 0, 1), 9u);
+  EXPECT_EQ(Mem.read((1 << 20) + 1, 0, 1), 0u);
+  EXPECT_EQ(Mem.read(0, 0, 1), 0u); // Released page is detached.
+}
+
+TEST(ShadowMemory, ByteBudgetTripsWithStatusAndDropsWrites) {
+  // Budget for exactly one page of 4-level cells.
+  uint64_t PageBytes = 256 * 4 * sizeof(ShadowCell);
+  ShadowMemory Mem(4, /*SegmentWords=*/256, /*ByteBudget=*/PageBytes);
+  Mem.write(0, 0, 1, 7);
+  EXPECT_TRUE(Mem.status().ok());
+  EXPECT_EQ(Mem.read(0, 0, 1), 7u);
+  // Second page exceeds the budget: the write is dropped, the status
+  // records ResourceExhausted, and existing pages stay readable.
+  Mem.write(4096, 0, 1, 9);
+  EXPECT_FALSE(Mem.status().ok());
+  EXPECT_EQ(Mem.status().code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(Mem.read(4096, 0, 1), 0u);
+  EXPECT_EQ(Mem.read(0, 0, 1), 7u);
+  EXPECT_EQ(Mem.allocatedSegments(), 1u);
+}
+
+TEST(Runtime, ShadowBudgetTripSurfacesOnShortRuns) {
+  // The budget trips inside the run's final event batch, after the last
+  // engine-side guardrail poll — the end-of-run check must still fail the
+  // execution instead of reporting success with a tripped runtime.
+  std::unique_ptr<Module> M = compileOrDie(R"(
+    int big[100000];
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 100000; i = i + 4096) { big[i] = i; s = s + 1; }
+      return s;
+    }
+  )");
+  instrumentModule(*M);
+  DictionaryCompressor Dict;
+  KremlinConfig Cfg;
+  Cfg.MaxShadowBytes = // Exactly one shadow page fits.
+      Cfg.SegmentWords * Cfg.NumLevels * sizeof(ShadowCell);
+  for (bool UseTape : {true, false}) {
+    InterpConfig ICfg;
+    ICfg.UseTape = UseTape;
+    KremlinRuntime RT(Cfg, Dict);
+    Interpreter I(*M, ICfg);
+    ExecResult R = I.run(&RT);
+    EXPECT_FALSE(R.Ok) << (UseTape ? "tape" : "switch");
+    EXPECT_EQ(R.Err.code(), ErrorCode::ResourceExhausted);
+  }
+}
+
+/// Collects every interned summary so tests can assert on work/cp exactly.
+class CaptureSink : public RegionSummarySink {
+public:
+  std::vector<DynRegionSummary> Summaries;
+  SummaryChar intern(DynRegionSummary S) override {
+    Summaries.push_back(std::move(S));
+    return static_cast<SummaryChar>(Summaries.size() - 1);
+  }
+  void onRootExit(SummaryChar) override {}
+};
+
+TEST(Runtime, RecycledFrameRowsReadZero) {
+  // Frames are recycled by depth without clearing their cell arrays; the
+  // per-row watermark must make stale times from a previous call at the
+  // same depth unreadable. A leak here would lift cp from 10 to 11.
+  CaptureSink Sink;
+  KremlinConfig Cfg;
+  KremlinRuntime RT(Cfg, Sink);
+  RT.pushFrame(8);
+  RT.enterRegion(0);
+  RT.pushFrame(8);
+  for (int I = 0; I < 10; ++I) // Serial chain: reg 3 available at t=10.
+    RT.onOp(Opcode::Add, 3, I ? 3 : NoValue, NoValue, false);
+  RT.popFrame();
+  RT.pushFrame(8); // Recycled storage; reg 3 must read as 0.
+  RT.onOp(Opcode::Add, 4, 3, NoValue, false);
+  RT.popFrame();
+  RT.exitRegion(0);
+  ASSERT_EQ(Sink.Summaries.size(), 1u);
+  EXPECT_EQ(Sink.Summaries[0].Work, 11u);
+  EXPECT_EQ(Sink.Summaries[0].Cp, 10u);
+}
+
+TEST(Runtime, CopyParamHonorsSourceWatermark) {
+  CaptureSink Sink;
+  KremlinConfig Cfg;
+  KremlinRuntime RT(Cfg, Sink);
+  RT.pushFrame(8);
+  RT.enterRegion(0);
+  for (int I = 0; I < 5; ++I) // Caller reg 2 available at t=5.
+    RT.onOp(Opcode::Add, 2, I ? 2 : NoValue, NoValue, false);
+  RT.pushFrame(8);
+  RT.copyParamFromCaller(/*DstParam=*/0, /*SrcArgInCaller=*/2);
+  RT.copyParamFromCaller(/*DstParam=*/1, /*SrcArgInCaller=*/6); // Unwritten.
+  RT.onOp(Opcode::Add, 2, 0, NoValue, false); // Completes at 6.
+  RT.onOp(Opcode::Add, 3, 1, NoValue, false); // Unwritten param: t=1.
+  RT.popFrame();
+  RT.exitRegion(0);
+  ASSERT_EQ(Sink.Summaries.size(), 1u);
+  EXPECT_EQ(Sink.Summaries[0].Work, 7u);
+  EXPECT_EQ(Sink.Summaries[0].Cp, 6u); // Not 7: param 1 carried no time.
+}
+
+TEST(Runtime, ConstWriteResetsRowWatermark) {
+  // A const-class op makes its register "available at 0": the row reset
+  // must hide the earlier chain, so a dependent op completes at t=1.
+  CaptureSink Sink;
+  KremlinConfig Cfg;
+  KremlinRuntime RT(Cfg, Sink);
+  RT.pushFrame(8);
+  RT.enterRegion(0);
+  for (int I = 0; I < 7; ++I)
+    RT.onOp(Opcode::Add, 3, I ? 3 : NoValue, NoValue, false);
+  RT.onOp(Opcode::ConstInt, 3, NoValue, NoValue, false); // Free; resets row.
+  RT.onOp(Opcode::Add, 4, 3, NoValue, false);
+  RT.exitRegion(0);
+  ASSERT_EQ(Sink.Summaries.size(), 1u);
+  EXPECT_EQ(Sink.Summaries[0].Work, 8u); // Consts are latency-free.
+  EXPECT_EQ(Sink.Summaries[0].Cp, 7u);   // The dependent op ran off t=0.
+}
+
 } // namespace

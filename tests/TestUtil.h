@@ -51,7 +51,8 @@ inline std::unique_ptr<Module> compileOrDie(const std::string &Source,
 /// Compiles, instruments, interprets under the HCPA runtime, and builds the
 /// parallelism profile.
 inline ProfiledRun profileSource(const std::string &Source,
-                                 KremlinConfig Cfg = KremlinConfig()) {
+                                 KremlinConfig Cfg = KremlinConfig(),
+                                 InterpConfig ICfg = InterpConfig()) {
   ProfiledRun Run;
   Run.M = compileOrDie(Source);
   InstrumentResult IR = instrumentModule(*Run.M);
@@ -59,7 +60,7 @@ inline ProfiledRun profileSource(const std::string &Source,
     ADD_FAILURE() << "instrumenter: " << W;
   Run.Dict = std::make_unique<DictionaryCompressor>();
   KremlinRuntime RT(Cfg, *Run.Dict);
-  Interpreter Interp(*Run.M);
+  Interpreter Interp(*Run.M, ICfg);
   Run.Exec = Interp.run(&RT);
   EXPECT_TRUE(Run.Exec.Ok) << Run.Exec.Error;
   Run.Profile = std::make_unique<ParallelismProfile>(*Run.M, *Run.Dict);
