@@ -1,0 +1,209 @@
+//===- aggregate/ProfileService.cpp ---------------------------------------===//
+
+#include "aggregate/ProfileService.h"
+
+#include "aggregate/ProfileMerge.h"
+#include "compress/TraceIO.h"
+#include "planner/Personality.h"
+#include "report/ProfileExport.h"
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+#include <mutex>
+
+using namespace kremlin;
+using namespace kremlin::aggregate;
+using kremlin::http::Request;
+using kremlin::http::Response;
+namespace tel = kremlin::telemetry;
+
+static tel::Counter &counter(const char *Name) {
+  return tel::Registry::global().counter(Name);
+}
+
+Expected<std::unique_ptr<ProfileService>>
+ProfileService::create(const ServiceOptions &Opts) {
+  std::unique_ptr<ProfileService> S(new ProfileService(Opts));
+  if (!Opts.StoreDir.empty()) {
+    Expected<ProfileStore> Store = ProfileStore::open(Opts.StoreDir);
+    if (!Store.ok())
+      return Store.status();
+    Expected<DictionaryCompressor> Seed = Store.value().mergeAll(
+        TraceReadLimits{Opts.MaxIngestBytes});
+    if (!Seed.ok())
+      return Seed.status();
+    S->Store.emplace(Store.takeValue());
+    if (!S->Store->entries().empty()) {
+      mergeInto(S->Merged, Seed.value());
+      S->Ingested = S->Store->entries().size();
+      ++S->Generation;
+    }
+  }
+  return S;
+}
+
+Status ProfileService::ingest(const DictionaryCompressor &Dict,
+                              const std::string &Name,
+                              const std::string &Source) {
+  std::unique_lock Lock(Mutex);
+  mergeInto(Merged, Dict);
+  ++Ingested;
+  ++Generation;
+  if (Store && !Name.empty()) {
+    TraceMeta Meta;
+    Meta.Source = Source;
+    if (Status St = Store->add(Name, Dict, Meta); !St.ok())
+      return St;
+  }
+  return Status::success();
+}
+
+uint64_t ProfileService::ingestCount() const {
+  std::shared_lock Lock(Mutex);
+  return Ingested;
+}
+
+uint64_t ProfileService::generation() const {
+  std::shared_lock Lock(Mutex);
+  return Generation;
+}
+
+Response ProfileService::handleIngest(const Request &Req) {
+  if (Req.Method != "POST")
+    return Response::text(405, "POST a kremlin-trace body to /ingest\n");
+  if (Opts.MaxIngestBytes && Req.Body.size() > Opts.MaxIngestBytes) {
+    counter("ingest.budget_trips").add();
+    return Response::text(
+        413, formatString("profile upload (%s) exceeds the "
+                          "--max-profile-mb budget (%s)\n",
+                          formatBytes(Req.Body.size()).c_str(),
+                          formatBytes(Opts.MaxIngestBytes).c_str()));
+  }
+  if (fault::enabled() && fault::shouldFail(fault::Site::Ingest))
+    return Response::text(503, "profile ingest failed (KREMLIN_FAULT=" +
+                                   fault::activeSpec() + ")\n");
+
+  TraceMeta Meta;
+  Expected<DictionaryCompressor> Dict = readTrace(Req.Body, &Meta);
+  if (!Dict.ok())
+    return Response::text(400, Dict.status().toString() + "\n");
+  if (Status St = ingest(Dict.value(), Req.query("name"), Meta.Source);
+      !St.ok())
+    return Response::text(500, St.toString() + "\n");
+
+  counter("serve.ingests").add();
+  JsonValue Reply = JsonValue::makeObject();
+  Reply.set("ingested", ingestCount());
+  Reply.set("generation", generation());
+  Reply.set("dynregions", Dict.value().numDynamicRegions());
+  return Response::json(200, Reply.serialize() + "\n");
+}
+
+Expected<std::string> ProfileService::viewBody(const std::string &Key,
+                                               const std::string &Format,
+                                               const std::string &Personality,
+                                               bool &CacheHit) {
+  {
+    std::shared_lock Lock(Mutex);
+    auto It = ViewCache.find(Key);
+    if (It != ViewCache.end() && It->second.first == Generation) {
+      CacheHit = true;
+      return It->second.second;
+    }
+  }
+
+  std::unique_lock Lock(Mutex);
+  // Re-check: another rebuilder may have repopulated while we waited.
+  auto It = ViewCache.find(Key);
+  if (It != ViewCache.end() && It->second.first == Generation) {
+    CacheHit = true;
+    return It->second.second;
+  }
+  CacheHit = false;
+  if (Merged.roots().empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "no profiles ingested yet")
+        .withStage("serve-view");
+
+  Module M = syntheticModule(Merged);
+  ParallelismProfile P(M, Merged);
+  report::RegionTree Tree = report::buildRegionTree(P);
+  std::string Body;
+  if (Format == "speedscope") {
+    Body = report::exportSpeedscope(P, Tree, "fleet");
+  } else if (Format == "tree") {
+    Body = report::renderTree(P, Tree);
+  } else if (Format == "collapsed") {
+    Body = report::exportCollapsed(P, Tree);
+  } else if (Format == "timeline") {
+    Body = report::exportTimeline(P, Merged);
+  } else if (Format == "plan") {
+    std::unique_ptr<kremlin::Personality> Pers =
+        makePersonality(Personality);
+    if (!Pers)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "unknown personality '" + Personality + "'")
+          .withStage("serve-view");
+    Plan ThePlan = Pers->plan(P, PlannerOptions());
+    Body = printPlan(M, ThePlan, Opts.PlanRows);
+  } else {
+    return Status::error(ErrorCode::InvalidArgument,
+                         "unknown format '" + Format +
+                             "' (speedscope|tree|plan|collapsed|timeline)")
+        .withStage("serve-view");
+  }
+  ViewCache[Key] = {Generation, Body};
+  return Body;
+}
+
+Response ProfileService::handleProfile(const Request &Req) {
+  std::string Format = Req.query("format", "speedscope");
+  std::string Personality = Req.query("personality", "openmp");
+  std::string Key = Format + ":" + (Format == "plan" ? Personality : "");
+  bool CacheHit = false;
+  Expected<std::string> Body = viewBody(Key, Format, Personality, CacheHit);
+  if (!Body.ok()) {
+    int Code =
+        Body.status().code() == ErrorCode::InvalidArgument &&
+                Body.status().message().rfind("no profiles", 0) == 0
+            ? 404
+            : 400;
+    return Response::text(Code, Body.status().toString() + "\n");
+  }
+  counter(CacheHit ? "serve.cache.hits" : "serve.cache.misses").add();
+  bool IsJson = Format == "speedscope" || Format == "timeline";
+  return IsJson ? Response::json(200, Body.takeValue())
+                : Response::text(200, Body.takeValue());
+}
+
+Response ProfileService::handle(const Request &Req) {
+  // serve.requests first, and /metrics bumps its category before
+  // rendering: a /metrics response then shows itself fully accounted, so
+  // a quiesced client can assert the accounting equation on the body it
+  // just received.
+  counter("serve.requests").add();
+  Response Resp;
+  if (Req.Path == "/healthz") {
+    counter("serve.healthz").add();
+    Resp = Response::text(200, "ok\n");
+  } else if (Req.Path == "/metrics") {
+    counter("serve.metrics").add();
+    Resp = Response::text(200, tel::Registry::global().renderTable());
+  } else if (Req.Path == "/ingest") {
+    Resp = handleIngest(Req);
+  } else if (Req.Path == "/profile") {
+    Resp = handleProfile(Req);
+  } else {
+    Resp = Response::text(
+        404, "no such endpoint (try /ingest, /profile, /metrics, "
+             "/healthz)\n");
+  }
+  // Exact accounting: every request bumps exactly one category. Success
+  // paths bumped theirs above; any error response lands in serve.errors
+  // instead (405/413/503/400/404/500 alike).
+  if (Resp.Code >= 400)
+    counter("serve.errors").add();
+  counter("serve.bytes_out").add(Resp.Body.size());
+  return Resp;
+}

@@ -1,0 +1,113 @@
+//===- aggregate/ProfileService.h - Fleet aggregation service ---*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `kremlin serve` request handler: an in-memory merged profile fed by
+/// POST /ingest uploads, with merged views rendered through the existing
+/// report exporters. Transport-free — the HTTP server hands it parsed
+/// requests, tests call handle() directly without sockets.
+///
+/// Endpoints:
+///   POST /ingest              body = kremlin-trace text; merged in, 200.
+///   GET  /profile?format=     speedscope | tree | plan | collapsed |
+///                             timeline view of the merged profile
+///                             (&personality= for plan).
+///   GET  /metrics             telemetry registry as an aligned table.
+///   GET  /healthz             "ok".
+///
+/// Caching: merged views are memoized behind a generation counter that
+/// every ingest bumps. Readers take a shared lock and serve the cached
+/// body when its generation matches; the first reader after an ingest
+/// upgrades to the exclusive lock, rebuilds, re-checks (another rebuilder
+/// may have won), and repopulates. Counter accounting is exact: every
+/// request bumps serve.requests plus exactly one of serve.ingests,
+/// serve.cache.{hits,misses}, serve.healthz, serve.metrics, or
+/// serve.errors (any >= 400 response), so
+///   serve.requests == ingests + hits + misses + healthz + metrics + errors
+/// always holds — the soak test asserts it under 32-way concurrency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_AGGREGATE_PROFILESERVICE_H
+#define KREMLIN_AGGREGATE_PROFILESERVICE_H
+
+#include "aggregate/ProfileStore.h"
+#include "compress/Dictionary.h"
+#include "support/Http.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+namespace kremlin {
+namespace aggregate {
+
+/// Service knobs (CLI flags map onto these).
+struct ServiceOptions {
+  /// Reject ingest bodies larger than this (bytes; 0 = unlimited). The
+  /// serve-side face of --max-profile-mb.
+  uint64_t MaxIngestBytes = 0;
+  /// When non-empty, persist every named ingest (?name=) into a
+  /// ProfileStore at this directory and seed the merge from its contents
+  /// on startup.
+  std::string StoreDir;
+  /// Row cap for the plan view.
+  unsigned PlanRows = 25;
+};
+
+/// The handler. Thread-safe; one instance serves all connections.
+class ProfileService {
+public:
+  /// Builds a service; when Opts.StoreDir is set, opens the store and
+  /// merges its existing profiles in.
+  static Expected<std::unique_ptr<ProfileService>>
+  create(const ServiceOptions &Opts);
+
+  /// Dispatches one request (the http::Server handler).
+  http::Response handle(const http::Request &Req);
+
+  /// Programmatic ingest (CLI seed files; bypasses the HTTP byte budget).
+  Status ingest(const DictionaryCompressor &Dict, const std::string &Name,
+                const std::string &Source);
+
+  /// Ingests accepted so far.
+  uint64_t ingestCount() const;
+  /// Cache generation (bumped per ingest).
+  uint64_t generation() const;
+
+private:
+  explicit ProfileService(ServiceOptions Opts) : Opts(std::move(Opts)) {}
+
+  http::Response handleIngest(const http::Request &Req);
+  http::Response handleProfile(const http::Request &Req);
+
+  /// Returns the cached view body for \p Key, rebuilding under the
+  /// exclusive lock on generation mismatch. \p CacheHit reports which
+  /// path served it.
+  Expected<std::string> viewBody(const std::string &Key,
+                                 const std::string &Format,
+                                 const std::string &Personality,
+                                 bool &CacheHit);
+
+  ServiceOptions Opts;
+
+  mutable std::shared_mutex Mutex;
+  DictionaryCompressor Merged;           ///< Guarded by Mutex.
+  uint64_t Ingested = 0;                 ///< Guarded by Mutex.
+  uint64_t Generation = 0;               ///< Guarded by Mutex.
+  /// view key -> (generation it was built at, body).
+  std::map<std::string, std::pair<uint64_t, std::string>> ViewCache;
+  std::optional<ProfileStore> Store;     ///< Guarded by Mutex.
+};
+
+} // namespace aggregate
+} // namespace kremlin
+
+#endif // KREMLIN_AGGREGATE_PROFILESERVICE_H

@@ -1,0 +1,156 @@
+//===- aggregate/ProfileStore.cpp -----------------------------------------===//
+
+#include "aggregate/ProfileStore.h"
+
+#include "aggregate/ProfileMerge.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <filesystem>
+
+using namespace kremlin;
+using namespace kremlin::aggregate;
+
+Expected<ProfileStore> ProfileStore::open(const std::string &Dir) {
+  ProfileStore S;
+  S.Dir = Dir;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return Status::error(ErrorCode::IoError,
+                         "cannot create store directory: " + EC.message())
+        .withStage("store-open")
+        .withInput(Dir);
+
+  std::string IndexPath = Dir + "/index.json";
+  std::string Text;
+  if (!readFileToString(IndexPath, Text))
+    return S; // No index yet: an empty store.
+
+  auto Malformed = [&IndexPath](std::string Msg) {
+    return Status::error(ErrorCode::DecodeError, std::move(Msg))
+        .withStage("store-open")
+        .withInput(IndexPath);
+  };
+  JsonValue Doc;
+  std::string Error;
+  if (!JsonValue::parse(Text, Doc, &Error))
+    return Malformed("malformed index: " + Error);
+  unsigned Version =
+      static_cast<unsigned>(Doc.getNumber("store_version", 0));
+  if (Version != StoreSchemaVersion)
+    return Malformed(formatString(
+        "unsupported store_version: found %u, expected %u", Version,
+        StoreSchemaVersion));
+  const JsonValue *Profiles = Doc.get("profiles");
+  if (!Profiles || !Profiles->isArray())
+    return Malformed("index has no profiles array");
+  for (size_t I = 0; I < Profiles->size(); ++I) {
+    const JsonValue &P = Profiles->at(I);
+    StoreEntry E;
+    if (const JsonValue *V = P.get("name"))
+      E.Name = V->asString();
+    if (const JsonValue *V = P.get("file"))
+      E.File = V->asString();
+    if (const JsonValue *V = P.get("source"))
+      E.Source = V->asString();
+    E.Bytes = static_cast<uint64_t>(P.getNumber("bytes"));
+    E.DynRegions = static_cast<uint64_t>(P.getNumber("dynregions"));
+    if (E.Name.empty() || E.File.empty())
+      return Malformed(formatString("index entry %zu lacks name/file", I));
+    S.Entries.push_back(std::move(E));
+  }
+  return S;
+}
+
+Status ProfileStore::writeIndex() const {
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("store_version", StoreSchemaVersion);
+  JsonValue Profiles = JsonValue::makeArray();
+  for (const StoreEntry &E : Entries) {
+    JsonValue P = JsonValue::makeObject();
+    P.set("name", E.Name);
+    P.set("file", E.File);
+    if (!E.Source.empty())
+      P.set("source", E.Source);
+    P.set("bytes", E.Bytes);
+    P.set("dynregions", E.DynRegions);
+    Profiles.push(std::move(P));
+  }
+  Doc.set("profiles", std::move(Profiles));
+  std::string Path = Dir + "/index.json";
+  if (!writeStringToFile(Path, Doc.serialize() + "\n"))
+    return Status::error(ErrorCode::IoError, "cannot write index")
+        .withStage("store-write")
+        .withInput(Path);
+  return Status::success();
+}
+
+Status ProfileStore::add(const std::string &Name,
+                         const DictionaryCompressor &Dict,
+                         const TraceMeta &Meta) {
+  if (Name.empty() ||
+      Name.find_first_not_of("abcdefghijklmnopqrstuvwxyz"
+                             "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-") !=
+          std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "store names are [A-Za-z0-9._-]+: '" + Name + "'")
+        .withStage("store-add");
+  std::string File = Name + ".prof";
+  if (Status St = writeTraceFile(Dict, Dir + "/" + File, Meta); !St.ok())
+    return St;
+
+  StoreEntry E;
+  E.Name = Name;
+  E.File = File;
+  E.Source = Meta.Source;
+  E.Bytes = writeTrace(Dict, Meta).size();
+  E.DynRegions = Dict.numDynamicRegions();
+  bool Replaced = false;
+  for (StoreEntry &Old : Entries)
+    if (Old.Name == Name) {
+      Old = E;
+      Replaced = true;
+      break;
+    }
+  if (!Replaced)
+    Entries.push_back(std::move(E));
+  return writeIndex();
+}
+
+Expected<DictionaryCompressor>
+ProfileStore::load(const std::string &Name,
+                   const TraceReadLimits &Limits) const {
+  for (const StoreEntry &E : Entries)
+    if (E.Name == Name)
+      return readTraceFile(Dir + "/" + E.File, nullptr, Limits);
+  return Status::error(ErrorCode::InvalidArgument,
+                       "no profile named '" + Name + "' in store")
+      .withStage("store-load")
+      .withInput(Dir);
+}
+
+Expected<DictionaryCompressor>
+ProfileStore::mergeAll(const TraceReadLimits &Limits) const {
+  DictionaryCompressor Out;
+  for (const StoreEntry &E : Entries) {
+    Expected<DictionaryCompressor> In =
+        readTraceFile(Dir + "/" + E.File, nullptr, Limits);
+    if (!In.ok())
+      return In.status();
+    mergeInto(Out, In.value());
+  }
+  return Out;
+}
+
+std::string ProfileStore::renderIndex() const {
+  TablePrinter T;
+  T.setHeader({"name", "file", "source", "bytes", "dynregions"});
+  for (const StoreEntry &E : Entries)
+    T.addRow({E.Name, E.File, E.Source.empty() ? "-" : E.Source,
+              formatString("%llu", static_cast<unsigned long long>(E.Bytes)),
+              formatString("%llu",
+                           static_cast<unsigned long long>(E.DynRegions))});
+  return T.render();
+}

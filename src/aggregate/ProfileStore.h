@@ -1,0 +1,94 @@
+//===- aggregate/ProfileStore.h - On-disk profile store ---------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A versioned on-disk store of compressed HCPA profiles — the durable half
+/// of the fleet aggregation pipeline. A store is one directory holding
+/// `.prof` trace files plus an `index.json` describing them:
+///
+///   {
+///     "store_version": 1,
+///     "profiles": [
+///       {"name": "ep", "file": "ep.prof", "source": "ep.minic",
+///        "bytes": 1234, "dynregions": 56789}
+///     ]
+///   }
+///
+/// The index is rewritten atomically-enough (truncate + write) after every
+/// mutation; each profile file is a normal `kremlin-trace` document, so
+/// individual entries stay readable by every existing tool. Opening a
+/// store with an unknown `store_version` fails by name, mirroring the
+/// trace-schema check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_AGGREGATE_PROFILESTORE_H
+#define KREMLIN_AGGREGATE_PROFILESTORE_H
+
+#include "compress/Dictionary.h"
+#include "compress/TraceIO.h"
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace kremlin {
+namespace aggregate {
+
+/// Supported index schema version.
+inline constexpr unsigned StoreSchemaVersion = 1;
+
+/// One indexed profile.
+struct StoreEntry {
+  std::string Name;   ///< Unique store-local name.
+  std::string File;   ///< File name relative to the store directory.
+  std::string Source; ///< Provenance (trace meta), possibly empty.
+  uint64_t Bytes = 0; ///< Serialized size.
+  uint64_t DynRegions = 0;
+};
+
+/// The store. All mutating operations persist the index before returning.
+class ProfileStore {
+public:
+  /// Opens (or initializes) the store at \p Dir. A missing directory is
+  /// created; a missing index means an empty store. DecodeError when the
+  /// index exists but is malformed or has an unsupported store_version.
+  static Expected<ProfileStore> open(const std::string &Dir);
+
+  /// Adds \p Dict under \p Name (overwriting an existing entry of the same
+  /// name), writing `<Name>.prof` and refreshing the index.
+  Status add(const std::string &Name, const DictionaryCompressor &Dict,
+             const TraceMeta &Meta = TraceMeta());
+
+  /// Loads one entry's dictionary (InvalidArgument when absent; \p Limits
+  /// as in readTraceFile).
+  Expected<DictionaryCompressor>
+  load(const std::string &Name,
+       const TraceReadLimits &Limits = TraceReadLimits()) const;
+
+  /// Merges every stored profile into one dictionary (empty store merges
+  /// to an empty dictionary).
+  Expected<DictionaryCompressor>
+  mergeAll(const TraceReadLimits &Limits = TraceReadLimits()) const;
+
+  const std::vector<StoreEntry> &entries() const { return Entries; }
+  const std::string &dir() const { return Dir; }
+
+  /// Renders the index as an aligned table (`kremlin serve` startup log,
+  /// tests).
+  std::string renderIndex() const;
+
+private:
+  Status writeIndex() const;
+
+  std::string Dir;
+  std::vector<StoreEntry> Entries;
+};
+
+} // namespace aggregate
+} // namespace kremlin
+
+#endif // KREMLIN_AGGREGATE_PROFILESTORE_H

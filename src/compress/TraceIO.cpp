@@ -4,6 +4,7 @@
 
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <fstream>
@@ -11,8 +12,11 @@
 
 using namespace kremlin;
 
-std::string kremlin::writeTrace(const DictionaryCompressor &Dict) {
-  std::string Out = "kremlin-trace 1\n";
+std::string kremlin::writeTrace(const DictionaryCompressor &Dict,
+                                const TraceMeta &Meta) {
+  std::string Out = formatString("kremlin-trace %u\n", TraceSchemaVersion);
+  if (!Meta.Source.empty())
+    Out += "source " + Meta.Source + "\n";
   Out += formatString("regions %zu\n", Dict.alphabet().size());
   for (const DynRegionSummary &S : Dict.alphabet()) {
     Out += formatString("entry %u %llu %llu %zu", S.Static,
@@ -33,7 +37,8 @@ std::string kremlin::writeTrace(const DictionaryCompressor &Dict) {
   return Out;
 }
 
-Expected<DictionaryCompressor> kremlin::readTrace(const std::string &Text) {
+Expected<DictionaryCompressor> kremlin::readTrace(const std::string &Text,
+                                                  TraceMeta *Meta) {
   auto Malformed = [](std::string Msg) {
     return Status::error(ErrorCode::DecodeError, std::move(Msg))
         .withStage("trace-decode");
@@ -48,11 +53,29 @@ Expected<DictionaryCompressor> kremlin::readTrace(const std::string &Text) {
   std::istringstream In(Text);
   std::string Keyword;
   unsigned Version = 0;
-  if (!(In >> Keyword >> Version) || Keyword != "kremlin-trace" ||
-      Version != 1)
-    return Malformed("not a kremlin-trace v1 file");
+  if (!(In >> Keyword >> Version) || Keyword != "kremlin-trace")
+    return Malformed("not a kremlin-trace file");
+  // An incompatible schema fails here, by name, instead of as an obscure
+  // downstream parse error: the versions involved are in the message.
+  if (Version < MinTraceSchemaVersion || Version > TraceSchemaVersion)
+    return Malformed(formatString(
+        "unsupported trace schema version: found %u, expected %u "
+        "(readers accept %u-%u)",
+        Version, TraceSchemaVersion, MinTraceSchemaVersion,
+        TraceSchemaVersion));
+  if (!(In >> Keyword))
+    return Malformed("missing regions header");
+  if (Keyword == "source") {
+    // v2 provenance: the rest of the line is the source name.
+    std::string Line;
+    std::getline(In, Line);
+    if (Meta)
+      Meta->Source = std::string(trimString(Line));
+    if (!(In >> Keyword))
+      return Malformed("missing regions header");
+  }
   size_t NumEntries = 0;
-  if (!(In >> Keyword >> NumEntries) || Keyword != "regions")
+  if (Keyword != "regions" || !(In >> NumEntries))
     return Malformed("missing regions header");
   uint64_t SeenDynRegions = 0;
   for (size_t E = 0; E < NumEntries; ++E) {
@@ -103,26 +126,57 @@ Expected<DictionaryCompressor> kremlin::readTrace(const std::string &Text) {
 }
 
 Status kremlin::writeTraceFile(const DictionaryCompressor &Dict,
-                               const std::string &Path) {
+                               const std::string &Path,
+                               const TraceMeta &Meta) {
   std::ofstream Out(Path);
   if (!Out)
     return Status::error(ErrorCode::IoError, "cannot open for writing")
         .withInput(Path);
-  Out << writeTrace(Dict);
+  Out << writeTrace(Dict, Meta);
   if (!Out)
     return Status::error(ErrorCode::IoError, "write failed").withInput(Path);
   return Status::success();
 }
 
-Expected<DictionaryCompressor> kremlin::readTraceFile(const std::string &Path) {
-  std::ifstream In(Path);
+Expected<DictionaryCompressor>
+kremlin::readTraceFile(const std::string &Path, TraceMeta *Meta,
+                       const TraceReadLimits &Limits) {
+  namespace tel = telemetry;
+  if (fault::enabled() && fault::shouldFail(fault::Site::Ingest))
+    return Status::error(ErrorCode::FaultInjected,
+                         "profile ingest failed (KREMLIN_FAULT=" +
+                             fault::activeSpec() + ")")
+        .withStage("ingest")
+        .withInput(Path);
+
+  std::ifstream In(Path, std::ios::binary);
   if (!In)
     return Status::error(ErrorCode::IoError, "cannot open")
         .withStage("trace-decode")
         .withInput(Path);
+  In.seekg(0, std::ios::end);
+  uint64_t Bytes = static_cast<uint64_t>(In.tellg());
+  In.seekg(0, std::ios::beg);
+  tel::Registry::global().counter("ingest.bytes").add(Bytes);
+  if (Limits.MaxBytes && Bytes > Limits.MaxBytes) {
+    // Trip the size budget before parsing a single byte (the guardrail a
+    // hostile fleet upload hits first).
+    tel::Registry::global().counter("ingest.budget_trips").add();
+    tel::Registry::global()
+        .gauge("ingest.budget_bytes")
+        .set(static_cast<double>(Limits.MaxBytes));
+    return Status::error(
+               ErrorCode::ResourceExhausted,
+               formatString("profile file size (%s) exceeds the "
+                            "--max-profile-mb budget (%s)",
+                            formatBytes(Bytes).c_str(),
+                            formatBytes(Limits.MaxBytes).c_str()))
+        .withStage("ingest")
+        .withInput(Path);
+  }
   std::ostringstream SS;
   SS << In.rdbuf();
-  Expected<DictionaryCompressor> Result = readTrace(SS.str());
+  Expected<DictionaryCompressor> Result = readTrace(SS.str(), Meta);
   if (!Result.ok())
     return Status(Result.status()).withInput(Path);
   return Result;

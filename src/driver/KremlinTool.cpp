@@ -31,6 +31,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "aggregate/AggregateTool.h"
 #include "compress/TraceIO.h"
 #include "driver/BenchHarness.h"
 #include "driver/KremlinDriver.h"
@@ -59,8 +60,8 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: kremlin [stats|lint|report] (<source.c> | --bench=<name> | "
-      "--tracking) [options]\n"
+      "usage: kremlin [stats|lint|report|merge|diff|serve] (<source.c> | "
+      "--bench=<name> | --tracking) [options]\n"
       "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
       "  --min-sp=<f>                             self-parallelism cutoff\n"
@@ -74,6 +75,10 @@ void printUsage() {
       "  --save-trace=<path>                      write the compressed trace\n"
       "  --load-trace=<path>                      decode a compressed trace\n"
       "                                           and print its summary\n"
+      "  --max-profile-mb=<n>                     size budget for profile/\n"
+      "                                           trace file reads (0 =\n"
+      "                                           unlimited; exceeded =>\n"
+      "                                           structured error)\n"
       "  --trace-out=<path>                       stream a Chrome trace_event\n"
       "                                           JSON of the pipeline run\n"
       "                                           through the bounded ring\n"
@@ -101,10 +106,14 @@ void printUsage() {
       "The `report` subcommand exports the profiled region tree as a\n"
       "flamegraph (speedscope/collapsed), per-region timeline JSON, or\n"
       "terminal tree; see `kremlin report --help`.\n"
+      "The `merge`, `diff`, and `serve` subcommands aggregate saved\n"
+      "profiles fleet-wide: merge unions compressed traces, diff prints\n"
+      "per-region deltas, serve exposes ingest/report HTTP endpoints;\n"
+      "see each subcommand's --help.\n"
       "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n"
-      "KREMLIN_FAULT=alloc:<p>|trace_corrupt|stage:<name>|bench_throw:<p>\n"
-      "(comma-combined, KREMLIN_FAULT_SEED=<n>) enables deterministic fault\n"
-      "injection for testing failure paths.\n");
+      "KREMLIN_FAULT=alloc:<p>|trace_corrupt|stage:<name>|bench_throw:<p>|\n"
+      "ingest:<p> (comma-combined, KREMLIN_FAULT_SEED=<n>) enables\n"
+      "deterministic fault injection for testing failure paths.\n");
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -402,6 +411,15 @@ int main(int argc, char **argv) {
   if (argc > 1 && std::strcmp(argv[1], "report") == 0)
     return report::reportMain(
         std::vector<std::string>(argv + 2, argv + argc));
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+    return aggregate::mergeMain(
+        std::vector<std::string>(argv + 2, argv + argc));
+  if (argc > 1 && std::strcmp(argv[1], "diff") == 0)
+    return aggregate::diffMain(
+        std::vector<std::string>(argv + 2, argv + argc));
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return aggregate::serveMain(
+        std::vector<std::string>(argv + 2, argv + argc));
 
   // `kremlin stats ...` runs the same pipeline but renders the telemetry
   // registry instead of the plan. `kremlin lint ...` runs only the static
@@ -425,6 +443,7 @@ int main(int argc, char **argv) {
   std::string SaveTracePath, LoadTracePath;
   std::string TraceOut, MetricsOut;
   tel::TraceSinkConfig SinkCfg;
+  TraceReadLimits ReadLimits;
   size_t Rows = 25;
 
   for (int I = ArgStart; I < argc; ++I) {
@@ -469,6 +488,9 @@ int main(int argc, char **argv) {
       SaveTracePath = Value();
     } else if (Arg.rfind("--load-trace=", 0) == 0) {
       LoadTracePath = Value();
+    } else if (Arg.rfind("--max-profile-mb=", 0) == 0) {
+      ReadLimits.MaxBytes =
+          std::strtoull(Value().c_str(), nullptr, 10) * 1024 * 1024;
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = Value();
     } else if (Arg.rfind("--trace-ring-events=", 0) == 0) {
@@ -545,7 +567,8 @@ int main(int argc, char **argv) {
   // `--load-trace=<path>`: decode a compressed parallelism profile and
   // print its summary (the aggregation entry point of §2.4).
   if (!LoadTracePath.empty()) {
-    Expected<DictionaryCompressor> Dict = readTraceFile(LoadTracePath);
+    Expected<DictionaryCompressor> Dict =
+        readTraceFile(LoadTracePath, nullptr, ReadLimits);
     if (!Dict.ok()) {
       tel::logError("cli", Dict.status().toString());
       return 1;

@@ -34,6 +34,8 @@ void printReportUsage() {
       "  --load-trace=<path>    analyze a saved compressed trace (the\n"
       "                         source is still needed for the region\n"
       "                         table; only static passes run)\n"
+      "  --max-profile-mb=<n>   reject loaded traces larger than N MiB\n"
+      "                         (0 = unlimited)\n"
       "speedscope output loads directly at https://www.speedscope.app;\n"
       "collapsed output feeds flamegraph.pl or speedscope's import.\n");
 }
@@ -55,6 +57,7 @@ int report::reportMain(const std::vector<std::string> &Args) {
   std::string Format = "tree";
   std::string OutPath, LoadTracePath;
   ReportOptions Opts;
+  TraceReadLimits Limits;
 
   for (const std::string &Arg : Args) {
     auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
@@ -69,6 +72,9 @@ int report::reportMain(const std::vector<std::string> &Args) {
       OutPath = Value();
     } else if (Arg.rfind("--load-trace=", 0) == 0) {
       LoadTracePath = Value();
+    } else if (Arg.rfind("--max-profile-mb=", 0) == 0) {
+      Limits.MaxBytes =
+          std::strtoull(Value().c_str(), nullptr, 10) * 1024 * 1024;
     } else if (Arg.rfind("--bench=", 0) == 0) {
       Expected<GeneratedBenchmark> GB = tryGeneratePaperBenchmark(Value());
       if (!GB.ok()) {
@@ -116,7 +122,8 @@ int report::reportMain(const std::vector<std::string> &Args) {
   DriverResult Result;
   std::unique_ptr<DictionaryCompressor> LoadedDict;
   if (!LoadTracePath.empty()) {
-    Expected<DictionaryCompressor> Dict = readTraceFile(LoadTracePath);
+    Expected<DictionaryCompressor> Dict =
+        readTraceFile(LoadTracePath, nullptr, Limits);
     if (!Dict.ok()) {
       tel::logError("report", Dict.status().toString());
       return 1;

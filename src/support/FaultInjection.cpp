@@ -18,7 +18,7 @@ namespace {
 
 struct FaultConfig {
   /// Per-site failure probability; < 0 means the site is inactive.
-  double SiteP[3] = {-1.0, -1.0, -1.0};
+  double SiteP[4] = {-1.0, -1.0, -1.0, -1.0};
   std::vector<std::string> FailStages;
   uint64_t Seed = 0;
   std::string Spec;
@@ -60,6 +60,8 @@ bool parseToken(std::string_view Tok, FaultConfig &Out) {
     S = fault::Site::TraceCorrupt;
   else if (Name == "bench_throw")
     S = fault::Site::BenchThrow;
+  else if (Name == "ingest")
+    S = fault::Site::Ingest;
   else
     return false;
 

@@ -17,6 +17,7 @@
 ///   KREMLIN_FAULT=trace_corrupt       fail every compressed-trace decode
 ///   KREMLIN_FAULT=stage:execute       fail the named pipeline stage
 ///   KREMLIN_FAULT=bench_throw:0.5     throw from ~50% of bench workers
+///   KREMLIN_FAULT=ingest:0.5          fail ~50% of profile ingests
 ///   KREMLIN_FAULT=alloc:0.05,stage:plan     specs combine
 ///
 /// Probabilistic sites draw from a SplitMix64 stream indexed by a global
@@ -49,6 +50,10 @@ enum class Site : unsigned char {
   /// Bench-harness worker entry: throws instead of returning (exercises
   /// the harness exception boundary).
   BenchThrow,
+  /// Profile ingest (file reads and `kremlin serve` uploads): models a
+  /// failed fleet upload so the aggregation path's error plumbing is
+  /// drillable (spec keyword `ingest`).
+  Ingest,
 };
 
 namespace detail {

@@ -303,6 +303,37 @@ TEST(BenchHarness, MetricsDiffOfIdenticalMapsIsQuiet) {
   EXPECT_NE(Diff.find("0 of 1 metrics differ"), std::string::npos) << Diff;
 }
 
+TEST(BenchHarness, MetricsDiffHandlesServeCountersAppearing) {
+  // A snapshot taken before `kremlin serve` existed diffed against one
+  // taken after: the serve.*/merge.* families are one-sided. They must
+  // render as clean "added" rows — never as n/a (that marker is reserved
+  // for non-finite values) — and pre-existing metrics still diff normally.
+  MetricMap Before = {{"rt.dyn_instructions", 1000.0}, {"dict.hits", 50.0}};
+  MetricMap After = {{"rt.dyn_instructions", 1000.0},
+                     {"dict.hits", 60.0},
+                     {"serve.requests", 41.0},
+                     {"serve.cache.hits", 17.0},
+                     {"serve.cache.misses", 4.0},
+                     {"merge.profiles_in", 3.0},
+                     {"merge.alphabet_new", 120.0}};
+  std::string Diff = renderMetricsDiff(Before, After);
+  for (const char *Name : {"serve.requests", "serve.cache.hits",
+                           "serve.cache.misses", "merge.profiles_in",
+                           "merge.alphabet_new"})
+    EXPECT_NE(Diff.find(Name), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("added"), std::string::npos) << Diff;
+  EXPECT_EQ(Diff.find("n/a"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("+20.00%"), std::string::npos) << Diff; // dict.hits
+  EXPECT_EQ(Diff.find("rt.dyn_instructions"), std::string::npos) << Diff;
+  EXPECT_NE(Diff.find("6 of 7 metrics differ"), std::string::npos) << Diff;
+
+  // The reverse direction (serve counters vanishing, e.g. diffing against
+  // a run without traffic) reads as removals, still no n/a rows.
+  std::string Reverse = renderMetricsDiff(After, Before);
+  EXPECT_NE(Reverse.find("removed"), std::string::npos) << Reverse;
+  EXPECT_EQ(Reverse.find("n/a"), std::string::npos) << Reverse;
+}
+
 TEST(BenchHarness, MetricsJsonRoundTrips) {
   const BenchSuiteResult &R = sharedRun();
   std::string Json = metricsToJson(R.Metrics);

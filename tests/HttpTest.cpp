@@ -1,0 +1,160 @@
+//===- tests/HttpTest.cpp - embedded HTTP server tests --------------------===//
+//
+// The socket-free parser/serializer units, then live loopback round trips
+// through Server + http::request: routing, budgets (413/431), kernel port
+// assignment, concurrent requests, and stop() idempotency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Http.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace kremlin;
+
+namespace {
+
+TEST(HttpParse, ParsesStartLineHeadersAndQuery) {
+  Expected<http::Request> R = http::parseRequestHead(
+      "GET /profile?format=speedscope&name=a%20b HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->Method, "GET");
+  EXPECT_EQ(R->Path, "/profile");
+  EXPECT_EQ(R->query("format"), "speedscope");
+  EXPECT_EQ(R->query("name"), "a b");
+  EXPECT_EQ(R->query("missing", "dflt"), "dflt");
+  ASSERT_NE(R->header("content-type"), nullptr);
+  EXPECT_EQ(*R->header("Content-Type"), "application/json");
+  EXPECT_EQ(R->header("x-absent"), nullptr);
+}
+
+TEST(HttpParse, RejectsMalformedStartLines) {
+  EXPECT_FALSE(http::parseRequestHead("").ok());
+  EXPECT_FALSE(http::parseRequestHead("GET\r\n").ok());
+  EXPECT_FALSE(http::parseRequestHead("GET /x SMTP/1.0\r\n").ok());
+  Expected<http::Request> R = http::parseRequestHead("GET /x\r\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::DecodeError);
+}
+
+TEST(HttpParse, UrlDecodeHandlesEscapesAndPlus) {
+  EXPECT_EQ(http::urlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(http::urlDecode("%2Fpath%2f"), "/path/");
+  // Truncated/invalid escapes pass through literally instead of crashing.
+  EXPECT_EQ(http::urlDecode("100%"), "100%");
+  EXPECT_EQ(http::urlDecode("%zz"), "%zz");
+}
+
+TEST(HttpParse, SerializeResponseCarriesLengthAndClose) {
+  http::Response R = http::Response::json(404, "{\"error\":\"x\"}");
+  std::string Wire = http::serializeResponse(R);
+  EXPECT_NE(Wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(Wire.find("Content-Length: 13\r\n"), std::string::npos);
+  EXPECT_NE(Wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(Wire.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_EQ(Wire.substr(Wire.size() - 13), "{\"error\":\"x\"}");
+}
+
+TEST(HttpServer, RoundTripsOnKernelAssignedPort) {
+  http::ServerOptions Opts; // Port = 0: the kernel picks.
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [](const http::Request &Req) {
+        if (Req.Path == "/echo")
+          return http::Response::text(200, Req.Method + " " +
+                                               Req.query("v") + " " +
+                                               Req.Body);
+        return http::Response::text(404, "nope");
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  ASSERT_NE(Srv.value()->port(), 0);
+
+  Expected<http::ClientResponse> R = http::request(
+      "127.0.0.1", Srv.value()->port(), "POST", "/echo?v=hi", "body");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->Code, 200);
+  EXPECT_EQ(R->Body, "POST hi body");
+
+  Expected<http::ClientResponse> Miss =
+      http::request("127.0.0.1", Srv.value()->port(), "GET", "/other");
+  ASSERT_TRUE(Miss.ok());
+  EXPECT_EQ(Miss->Code, 404);
+
+  Srv.value()->stop();
+  Srv.value()->stop(); // Idempotent.
+}
+
+TEST(HttpServer, EnforcesBodyAndHeaderBudgets) {
+  http::ServerOptions Opts;
+  Opts.MaxBodyBytes = 64;
+  Opts.MaxHeaderBytes = 256;
+  Expected<std::unique_ptr<http::Server>> Srv = http::Server::start(
+      Opts, [](const http::Request &) { return http::Response::text(200, "ok"); });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  uint16_t Port = Srv.value()->port();
+
+  Expected<http::ClientResponse> Ok =
+      http::request("127.0.0.1", Port, "POST", "/", std::string(64, 'x'));
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok->Code, 200);
+
+  Expected<http::ClientResponse> TooBig =
+      http::request("127.0.0.1", Port, "POST", "/", std::string(65, 'x'));
+  ASSERT_TRUE(TooBig.ok());
+  EXPECT_EQ(TooBig->Code, 413);
+
+  // A request head past MaxHeaderBytes: a long target does it.
+  Expected<http::ClientResponse> BigHead = http::request(
+      "127.0.0.1", Port, "GET", "/" + std::string(512, 'a'));
+  ASSERT_TRUE(BigHead.ok());
+  EXPECT_EQ(BigHead->Code, 431);
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500) {
+  http::ServerOptions Opts;
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [](const http::Request &) -> http::Response {
+        throw std::runtime_error("boom");
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  Expected<http::ClientResponse> R =
+      http::request("127.0.0.1", Srv.value()->port(), "GET", "/");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Code, 500);
+}
+
+TEST(HttpServer, ServesConcurrentClients) {
+  http::ServerOptions Opts;
+  Opts.Threads = 4;
+  std::atomic<unsigned> Seen{0};
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [&Seen](const http::Request &) {
+        ++Seen;
+        return http::Response::text(200, "ok");
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  uint16_t Port = Srv.value()->port();
+
+  constexpr unsigned NumClients = 16;
+  std::atomic<unsigned> Good{0};
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I < NumClients; ++I)
+    Clients.emplace_back([Port, &Good] {
+      Expected<http::ClientResponse> R =
+          http::request("127.0.0.1", Port, "GET", "/");
+      if (R.ok() && R->Code == 200)
+        ++Good;
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Good.load(), NumClients);
+  EXPECT_EQ(Seen.load(), NumClients);
+}
+
+} // namespace

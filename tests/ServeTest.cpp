@@ -1,0 +1,246 @@
+//===- tests/ServeTest.cpp - ProfileService endpoint tests ----------------===//
+//
+// Drives the `kremlin serve` request handler directly (no sockets): ingest
+// and view round trips, the generation-counter cache, the byte budget, the
+// ingest fault drill, exact counter accounting, and store-backed
+// persistence across service restarts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aggregate/ProfileService.h"
+
+#include "aggregate/ProfileMerge.h"
+#include "compress/TraceIO.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+
+using namespace kremlin;
+using namespace kremlin::aggregate;
+namespace tel = kremlin::telemetry;
+
+namespace {
+
+/// A small two-entry profile (a leaf region under main).
+DictionaryCompressor sampleProfile(uint64_t LeafWork = 10) {
+  DictionaryCompressor Dict;
+  DynRegionSummary Leaf;
+  Leaf.Static = 1;
+  Leaf.Work = LeafWork;
+  Leaf.Cp = LeafWork / 2 + 1;
+  SummaryChar LeafChar = Dict.intern(Leaf);
+  DynRegionSummary Main;
+  Main.Static = 0;
+  Main.Work = 3 * LeafWork;
+  Main.Cp = 2 * LeafWork;
+  Main.Children.emplace_back(LeafChar, 2);
+  Dict.onRootExit(Dict.intern(Main));
+  return Dict;
+}
+
+http::Request makeRequest(const std::string &Method, const std::string &Path,
+                          std::map<std::string, std::string> Query = {},
+                          std::string Body = "") {
+  http::Request Req;
+  Req.Method = Method;
+  Req.Path = Path;
+  Req.Query = std::move(Query);
+  Req.Body = std::move(Body);
+  return Req;
+}
+
+std::unique_ptr<ProfileService> makeService(ServiceOptions Opts = {}) {
+  Expected<std::unique_ptr<ProfileService>> Svc = ProfileService::create(Opts);
+  EXPECT_TRUE(Svc.ok()) << Svc.status().toString();
+  return Svc.ok() ? Svc.takeValue() : nullptr;
+}
+
+uint64_t count(const char *Name) {
+  return tel::Registry::global().counter(Name).value();
+}
+
+TEST(Serve, IngestThenViewRoundTrip) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+
+  // Views 404 before anything is ingested.
+  http::Response Empty = Svc->handle(makeRequest("GET", "/profile"));
+  EXPECT_EQ(Empty.Code, 404);
+  EXPECT_NE(Empty.Body.find("no profiles ingested yet"), std::string::npos);
+
+  http::Response In = Svc->handle(
+      makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  ASSERT_EQ(In.Code, 200) << In.Body;
+  JsonValue Reply;
+  ASSERT_TRUE(JsonValue::parse(In.Body, Reply));
+  EXPECT_EQ(Reply.getNumber("ingested"), 1);
+  EXPECT_EQ(Reply.getNumber("dynregions"), 2);
+  EXPECT_EQ(Svc->ingestCount(), 1u);
+
+  // Every format renders against the synthetic module.
+  for (const char *Format :
+       {"speedscope", "tree", "collapsed", "timeline", "plan"}) {
+    http::Response V = Svc->handle(
+        makeRequest("GET", "/profile", {{"format", Format}}));
+    EXPECT_EQ(V.Code, 200) << Format << ": " << V.Body;
+    EXPECT_FALSE(V.Body.empty()) << Format;
+  }
+  // The speedscope and timeline views are valid JSON documents.
+  http::Response Speed = Svc->handle(
+      makeRequest("GET", "/profile", {{"format", "speedscope"}}));
+  JsonValue Doc;
+  EXPECT_TRUE(JsonValue::parse(Speed.Body, Doc));
+
+  EXPECT_EQ(Svc->handle(makeRequest("GET", "/healthz")).Code, 200);
+  http::Response Metrics = Svc->handle(makeRequest("GET", "/metrics"));
+  EXPECT_EQ(Metrics.Code, 200);
+  EXPECT_NE(Metrics.Body.find("serve.requests"), std::string::npos);
+}
+
+TEST(Serve, ErrorPathsReturnStructuredCodes) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+
+  EXPECT_EQ(Svc->handle(makeRequest("GET", "/ingest")).Code, 405);
+  EXPECT_EQ(Svc->handle(makeRequest("POST", "/ingest", {}, "not a trace"))
+                .Code,
+            400);
+  http::Response BadFormat = Svc->handle(
+      makeRequest("GET", "/profile", {{"format", "xml"}}));
+  EXPECT_EQ(BadFormat.Code, 400);
+  EXPECT_NE(BadFormat.Body.find("unknown format"), std::string::npos);
+  http::Response BadPers = Svc->handle(makeRequest(
+      "GET", "/profile", {{"format", "plan"}, {"personality", "magic"}}));
+  EXPECT_EQ(BadPers.Code, 400);
+  EXPECT_EQ(Svc->handle(makeRequest("GET", "/nope")).Code, 404);
+}
+
+TEST(Serve, CacheHitsUntilIngestBumpsGeneration) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  uint64_t Gen = Svc->generation();
+
+  uint64_t Hits0 = count("serve.cache.hits");
+  uint64_t Misses0 = count("serve.cache.misses");
+  Svc->handle(makeRequest("GET", "/profile", {{"format", "tree"}}));
+  EXPECT_EQ(count("serve.cache.misses"), Misses0 + 1);
+  Svc->handle(makeRequest("GET", "/profile", {{"format", "tree"}}));
+  Svc->handle(makeRequest("GET", "/profile", {{"format", "tree"}}));
+  EXPECT_EQ(count("serve.cache.hits"), Hits0 + 2);
+  EXPECT_EQ(count("serve.cache.misses"), Misses0 + 1);
+
+  // An ingest invalidates: next read is a miss at the new generation.
+  Svc->handle(
+      makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile(20))));
+  EXPECT_EQ(Svc->generation(), Gen + 1);
+  Svc->handle(makeRequest("GET", "/profile", {{"format", "tree"}}));
+  EXPECT_EQ(count("serve.cache.misses"), Misses0 + 2);
+
+  // Distinct plan personalities cache under distinct keys.
+  Svc->handle(makeRequest("GET", "/profile",
+                          {{"format", "plan"}, {"personality", "openmp"}}));
+  Svc->handle(makeRequest("GET", "/profile",
+                          {{"format", "plan"}, {"personality", "cilk"}}));
+  EXPECT_EQ(count("serve.cache.misses"), Misses0 + 4);
+}
+
+TEST(Serve, CounterEquationHoldsAfterMixedTraffic) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  uint64_t Req0 = count("serve.requests"), In0 = count("serve.ingests"),
+           Hit0 = count("serve.cache.hits"),
+           Miss0 = count("serve.cache.misses"),
+           Hp0 = count("serve.healthz"), Met0 = count("serve.metrics"),
+           Err0 = count("serve.errors");
+
+  Svc->handle(makeRequest("GET", "/profile"));                       // 404
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  Svc->handle(makeRequest("GET", "/profile"));                       // miss
+  Svc->handle(makeRequest("GET", "/profile"));                       // hit
+  Svc->handle(makeRequest("GET", "/healthz"));
+  Svc->handle(makeRequest("POST", "/ingest", {}, "garbage"));        // 400
+  Svc->handle(makeRequest("GET", "/metrics"));
+
+  uint64_t Requests = count("serve.requests") - Req0;
+  EXPECT_EQ(Requests, 7u);
+  EXPECT_EQ(Requests, (count("serve.ingests") - In0) +
+                          (count("serve.cache.hits") - Hit0) +
+                          (count("serve.cache.misses") - Miss0) +
+                          (count("serve.healthz") - Hp0) +
+                          (count("serve.metrics") - Met0) +
+                          (count("serve.errors") - Err0));
+}
+
+TEST(Serve, IngestBudgetTripsWith413) {
+  ServiceOptions Opts;
+  Opts.MaxIngestBytes = 64;
+  std::unique_ptr<ProfileService> Svc = makeService(Opts);
+  ASSERT_TRUE(Svc);
+  uint64_t Trips0 = count("ingest.budget_trips");
+  http::Response R = Svc->handle(makeRequest(
+      "POST", "/ingest", {}, writeTrace(sampleProfile()) + std::string(64, '#')));
+  EXPECT_EQ(R.Code, 413);
+  EXPECT_NE(R.Body.find("--max-profile-mb"), std::string::npos);
+  EXPECT_EQ(count("ingest.budget_trips"), Trips0 + 1);
+  EXPECT_EQ(Svc->ingestCount(), 0u);
+}
+
+TEST(Serve, IngestFaultDrillAnswers503) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  ASSERT_TRUE(fault::configure("ingest:1.0"));
+  http::Response R = Svc->handle(
+      makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  fault::reset();
+  EXPECT_EQ(R.Code, 503);
+  EXPECT_NE(R.Body.find("KREMLIN_FAULT"), std::string::npos);
+  EXPECT_EQ(Svc->ingestCount(), 0u);
+
+  // With the drill off the same upload goes through.
+  EXPECT_EQ(Svc->handle(makeRequest("POST", "/ingest", {},
+                                    writeTrace(sampleProfile())))
+                .Code,
+            200);
+}
+
+TEST(Serve, StorePersistsNamedIngestsAcrossRestarts) {
+  std::string Dir = ::testing::TempDir() + "/kremlin_serve_store";
+  std::filesystem::remove_all(Dir);
+  ServiceOptions Opts;
+  Opts.StoreDir = Dir;
+
+  {
+    std::unique_ptr<ProfileService> Svc = makeService(Opts);
+    ASSERT_TRUE(Svc);
+    TraceMeta Meta;
+    Meta.Source = "node7.c";
+    http::Response R = Svc->handle(makeRequest(
+        "POST", "/ingest", {{"name", "node7"}},
+        writeTrace(sampleProfile(), Meta)));
+    ASSERT_EQ(R.Code, 200) << R.Body;
+    // Unnamed ingests merge but do not persist.
+    ASSERT_EQ(Svc->handle(makeRequest("POST", "/ingest", {},
+                                      writeTrace(sampleProfile(20))))
+                  .Code,
+              200);
+    EXPECT_EQ(Svc->ingestCount(), 2u);
+  }
+
+  // A fresh service over the same store resumes from the persisted entry.
+  std::unique_ptr<ProfileService> Svc = makeService(Opts);
+  ASSERT_TRUE(Svc);
+  EXPECT_EQ(Svc->ingestCount(), 1u);
+  EXPECT_GE(Svc->generation(), 1u);
+  EXPECT_EQ(Svc->handle(makeRequest("GET", "/profile", {{"format", "tree"}}))
+                .Code,
+            200);
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

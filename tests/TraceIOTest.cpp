@@ -3,6 +3,7 @@
 #include "TestUtil.h"
 
 #include "compress/TraceIO.h"
+#include "support/FaultInjection.h"
 
 #include <cstdio>
 
@@ -101,6 +102,76 @@ TEST(TraceIO, AcceptsMinimalValidTrace) {
   EXPECT_EQ(R->alphabet().size(), 1u);
   EXPECT_EQ(R->numDynamicRegions(), 4u);
   EXPECT_EQ(R->computeMultiplicities()[0], 1u);
+}
+
+// --- Schema v2: source metadata + version gate --------------------------------
+
+TEST(TraceIO, V2RoundTripsSourceMetadata) {
+  ProfiledRun Run = profileSource(TwoPhaseSrc);
+  TraceMeta Out;
+  Out.Source = "two_phase.c";
+  std::string Text = writeTrace(*Run.Dict, Out);
+  EXPECT_EQ(Text.rfind("kremlin-trace 2\n", 0), 0u);
+  EXPECT_NE(Text.find("source two_phase.c\n"), std::string::npos);
+
+  TraceMeta In;
+  Expected<DictionaryCompressor> R = readTrace(Text, &In);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(In.Source, "two_phase.c");
+  EXPECT_EQ(R->numDynamicRegions(), Run.Dict->numDynamicRegions());
+
+  // v1 documents (no source line) still parse, with empty metadata.
+  TraceMeta Old;
+  Expected<DictionaryCompressor> V1 = readTrace(
+      "kremlin-trace 1\nregions 1\nentry 0 10 5 0\nroot 0 1\ndynregions 4\n",
+      &Old);
+  ASSERT_TRUE(V1.ok()) << V1.status().toString();
+  EXPECT_TRUE(Old.Source.empty());
+}
+
+TEST(TraceIO, RejectsVersionMismatchNamingBothVersions) {
+  Expected<DictionaryCompressor> R = readTrace(
+      "kremlin-trace 9\nregions 1\nentry 0 10 5 0\nroot 0 1\ndynregions 1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::DecodeError);
+  std::string Message = R.status().toString();
+  EXPECT_NE(Message.find("9"), std::string::npos) << Message;
+  EXPECT_NE(Message.find("2"), std::string::npos) << Message;
+}
+
+TEST(TraceIO, SizeBudgetTripsResourceExhausted) {
+  ProfiledRun Run = profileSource(TwoPhaseSrc);
+  std::string Path = ::testing::TempDir() + "/kremlin_budget_test.prof";
+  ASSERT_TRUE(writeTraceFile(*Run.Dict, Path).ok());
+
+  TraceReadLimits Tight;
+  Tight.MaxBytes = 16;
+  Expected<DictionaryCompressor> R = readTraceFile(Path, nullptr, Tight);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(R.status().input(), Path);
+  EXPECT_NE(R.status().toString().find("--max-profile-mb"),
+            std::string::npos);
+
+  // A budget at least the file size admits the read.
+  TraceReadLimits Roomy;
+  Roomy.MaxBytes = 64ull << 20;
+  EXPECT_TRUE(readTraceFile(Path, nullptr, Roomy).ok());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIO, IngestFaultDrillFailsReadsCleanly) {
+  ProfiledRun Run = profileSource(TwoPhaseSrc);
+  std::string Path = ::testing::TempDir() + "/kremlin_fault_test.prof";
+  ASSERT_TRUE(writeTraceFile(*Run.Dict, Path).ok());
+
+  ASSERT_TRUE(fault::configure("ingest:1.0"));
+  Expected<DictionaryCompressor> R = readTraceFile(Path);
+  fault::reset();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::FaultInjected);
+  EXPECT_TRUE(readTraceFile(Path).ok());
+  std::remove(Path.c_str());
 }
 
 // --- Multi-run aggregation (§2.4) ---------------------------------------------
