@@ -5,6 +5,7 @@
 #include "aggregate/ProfileMerge.h"
 #include "aggregate/ProfileService.h"
 #include "aggregate/ProfileStore.h"
+#include "aggregate/PushClient.h"
 #include "compress/TraceIO.h"
 #include "report/ProfileExport.h"
 #include "support/Http.h"
@@ -63,11 +64,30 @@ void printServeUsage() {
       "  --load=<p,q,...>       profiles to ingest before serving\n"
       "  --max-profile-mb=<n>   per-upload size budget (0 = unlimited)\n"
       "  --rows=<n>             plan-view row cap (default 25)\n"
+      "  --max-queue=<n>        bound on pending requests; beyond it the\n"
+      "                         server sheds with 503 + Retry-After\n"
+      "                         (default 0 = unbounded)\n"
       "endpoints: POST /ingest (kremlin-trace body),\n"
       "           GET /profile?format=speedscope|tree|plan|collapsed|"
       "timeline,\n"
       "           GET /metrics, GET /healthz\n"
       "Stop with SIGINT/SIGTERM; in-flight requests drain first.\n");
+}
+
+void printPushUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kremlin push <a.prof>... --url=http://<ipv4>[:port]\n"
+      "  --url=<url>            the `kremlin serve` endpoint (required)\n"
+      "  --retries=<n>          retries per profile after the first\n"
+      "                         attempt (default 5)\n"
+      "  --timeout-ms=<n>       per-attempt socket deadline (default\n"
+      "                         10000; 0 = none)\n"
+      "Uploads each profile to POST /ingest with capped jittered\n"
+      "exponential backoff on transient failures (connect errors,\n"
+      "408/429/5xx), honoring the server's Retry-After hints. Every\n"
+      "upload carries a content-hash Idempotency-Key, so a retried\n"
+      "upload whose ack was lost is acknowledged without double-merging.\n");
 }
 
 /// Parses --max-profile-mb= into a byte budget.
@@ -242,6 +262,9 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
     } else if (Arg.rfind("--rows=", 0) == 0) {
       SvcOpts.PlanRows =
           static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      SvcOpts.MaxQueue =
+          static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
     } else if (Arg == "--help" || Arg == "-h") {
       printServeUsage();
       return 0;
@@ -262,6 +285,12 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
     return 1;
   }
   ProfileService &Svc = *Service.value();
+  if (const StoreRecovery *Rec = Svc.storeRecovery(); Rec && Rec->dirty()) {
+    // Operators (and the CI crash-recovery drill) read this line to see
+    // exactly which entries survived and which were quarantined.
+    std::printf("kremlin serve: %s\n", Rec->summary().c_str());
+    std::fflush(stdout);
+  }
 
   for (const std::string &Path : LoadPaths) {
     TraceMeta Meta;
@@ -287,6 +316,14 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
   sigaddset(&StopSet, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &StopSet, nullptr);
 
+  // Backpressure and deadline hooks: the service owns the policy (queue
+  // bound) and the accounting (shed/timeout counters); the server owns
+  // the mechanics (accept-thread rejection, SO_RCVTIMEO 408s).
+  ServerOpts.Admit = [&Svc] { return Svc.admit(); };
+  ServerOpts.Release = [&Svc] { Svc.release(); };
+  ServerOpts.RejectResponse = ProfileService::shedResponse();
+  ServerOpts.OnReadTimeout = [] { ProfileService::noteTimeout(); };
+
   Expected<std::unique_ptr<http::Server>> Server = http::Server::start(
       ServerOpts, [&Svc](const http::Request &Req) {
         return Svc.handle(Req);
@@ -310,5 +347,59 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
               static_cast<unsigned long long>(
                   tel::Registry::global().counter("serve.requests").value()),
               static_cast<unsigned long long>(Svc.ingestCount()));
+  return 0;
+}
+
+int aggregate::pushMain(const std::vector<std::string> &Args) {
+  std::vector<std::string> Inputs;
+  std::string Url;
+  PushOptions Opts;
+
+  for (const std::string &Arg : Args) {
+    auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
+    if (Arg.rfind("--url=", 0) == 0) {
+      Url = Value();
+    } else if (Arg.rfind("--retries=", 0) == 0) {
+      Opts.Retry.MaxRetries =
+          static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
+      Opts.TimeoutMs =
+          static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg == "--help" || Arg == "-h") {
+      printPushUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Inputs.push_back(Arg);
+    } else {
+      tel::logf(tel::LogLevel::Error, "push", "unknown option '%s'",
+                Arg.c_str());
+      printPushUsage();
+      return 1;
+    }
+  }
+  if (Inputs.empty() || Url.empty()) {
+    printPushUsage();
+    return 1;
+  }
+  Expected<PushEndpoint> Endpoint = parsePushUrl(Url);
+  if (!Endpoint.ok()) {
+    tel::logError("push", Endpoint.status().toString());
+    return 1;
+  }
+  Opts.Endpoint = Endpoint.takeValue();
+
+  for (const std::string &Path : Inputs) {
+    Expected<PushOutcome> Out = pushProfileFile(Path, Opts);
+    if (!Out.ok()) {
+      tel::logError("push", Out.status().toString());
+      return 1;
+    }
+    std::printf("pushed %s as '%s' in %u attempt(s)%s (server total: %llu "
+                "ingest(s))\n",
+                Path.c_str(), Out.value().Name.c_str(),
+                Out.value().Attempts,
+                Out.value().Deduplicated ? " [deduplicated]" : "",
+                static_cast<unsigned long long>(Out.value().Ingested));
+  }
   return 0;
 }

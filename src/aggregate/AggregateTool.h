@@ -10,6 +10,7 @@
 ///   kremlin merge <a.prof> <b.prof>... --out=<merged.prof>
 ///   kremlin diff  <a.prof> <b.prof>
 ///   kremlin serve --port=<n> [--store=<dir>] [--load=<p.prof,...>]
+///   kremlin push  <a.prof>... --url=http://host:port
 ///
 /// Each main takes argv minus the program and subcommand words, mirroring
 /// report::reportMain.
@@ -33,6 +34,9 @@ int diffMain(const std::vector<std::string> &Args);
 
 /// `kremlin serve`: the embedded aggregation endpoint.
 int serveMain(const std::vector<std::string> &Args);
+
+/// `kremlin push`: retrying profile upload to a serve endpoint.
+int pushMain(const std::vector<std::string> &Args);
 
 } // namespace aggregate
 } // namespace kremlin

@@ -45,18 +45,65 @@ ProfileService::create(const ServiceOptions &Opts) {
 
 Status ProfileService::ingest(const DictionaryCompressor &Dict,
                               const std::string &Name,
-                              const std::string &Source) {
+                              const std::string &Source,
+                              const std::string &IdemKey,
+                              bool *Deduplicated) {
   std::unique_lock Lock(Mutex);
-  mergeInto(Merged, Dict);
-  ++Ingested;
-  ++Generation;
+  if (!IdemKey.empty() && SeenKeys.count(IdemKey)) {
+    // A retry of an upload that already landed (the client just never saw
+    // the ack): acknowledge without merging again.
+    if (Deduplicated)
+      *Deduplicated = true;
+    counter("serve.ingest.dedup").add();
+    return Status::success();
+  }
+  // Durable write first: if it fails, nothing merged, and the client's
+  // retry (same key, not yet recorded) re-attempts cleanly.
   if (Store && !Name.empty()) {
     TraceMeta Meta;
     Meta.Source = Source;
     if (Status St = Store->add(Name, Dict, Meta); !St.ok())
       return St;
   }
+  mergeInto(Merged, Dict);
+  ++Ingested;
+  ++Generation;
+  if (!IdemKey.empty()) {
+    SeenKeys.insert(IdemKey);
+    KeyOrder.push_back(IdemKey);
+    while (KeyOrder.size() > Opts.MaxIdempotencyKeys) {
+      SeenKeys.erase(KeyOrder.front());
+      KeyOrder.pop_front();
+    }
+  }
   return Status::success();
+}
+
+bool ProfileService::admit() {
+  uint64_t Now = Pending.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Opts.MaxQueue && Now > Opts.MaxQueue) {
+    Pending.fetch_sub(1, std::memory_order_relaxed);
+    // The shed connection never reaches handle(): account it here so the
+    // counter equation covers shed requests too.
+    counter("serve.requests").add();
+    counter("serve.shed").add();
+    return false;
+  }
+  return true;
+}
+
+void ProfileService::release() {
+  Pending.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void ProfileService::noteTimeout() {
+  counter("serve.requests").add();
+  counter("serve.timeouts").add();
+}
+
+Response ProfileService::shedResponse() {
+  return Response::text(503, "server overloaded; retry later\n")
+      .withRetryAfter(1);
 }
 
 uint64_t ProfileService::ingestCount() const {
@@ -88,7 +135,10 @@ Response ProfileService::handleIngest(const Request &Req) {
   Expected<DictionaryCompressor> Dict = readTrace(Req.Body, &Meta);
   if (!Dict.ok())
     return Response::text(400, Dict.status().toString() + "\n");
-  if (Status St = ingest(Dict.value(), Req.query("name"), Meta.Source);
+  const std::string *Key = Req.header("idempotency-key");
+  bool Deduplicated = false;
+  if (Status St = ingest(Dict.value(), Req.query("name"), Meta.Source,
+                         Key ? *Key : "", &Deduplicated);
       !St.ok())
     return Response::text(500, St.toString() + "\n");
 
@@ -97,6 +147,8 @@ Response ProfileService::handleIngest(const Request &Req) {
   Reply.set("ingested", ingestCount());
   Reply.set("generation", generation());
   Reply.set("dynregions", Dict.value().numDynamicRegions());
+  if (Deduplicated)
+    Reply.set("deduplicated", true);
   return Response::json(200, Reply.serialize() + "\n");
 }
 
@@ -184,25 +236,34 @@ Response ProfileService::handle(const Request &Req) {
   // just received.
   counter("serve.requests").add();
   Response Resp;
+  bool Shed = false;
   if (Req.Path == "/healthz") {
     counter("serve.healthz").add();
     Resp = Response::text(200, "ok\n");
   } else if (Req.Path == "/metrics") {
     counter("serve.metrics").add();
     Resp = Response::text(200, tel::Registry::global().renderTable());
-  } else if (Req.Path == "/ingest") {
-    Resp = handleIngest(Req);
-  } else if (Req.Path == "/profile") {
-    Resp = handleProfile(Req);
+  } else if (Req.Path == "/ingest" || Req.Path == "/profile") {
+    // The shed drill covers only the work endpoints: health and metrics
+    // stay observable under (simulated) overload, exactly as the real
+    // admission path keeps them cheap.
+    if (fault::enabled() && fault::shouldFail(fault::Site::Shed)) {
+      Shed = true;
+      counter("serve.shed").add();
+      Resp = shedResponse();
+    } else {
+      Resp = Req.Path == "/ingest" ? handleIngest(Req) : handleProfile(Req);
+    }
   } else {
     Resp = Response::text(
         404, "no such endpoint (try /ingest, /profile, /metrics, "
              "/healthz)\n");
   }
   // Exact accounting: every request bumps exactly one category. Success
-  // paths bumped theirs above; any error response lands in serve.errors
-  // instead (405/413/503/400/404/500 alike).
-  if (Resp.Code >= 400)
+  // paths bumped theirs above; a shed request is serve.shed, not an
+  // error; any other error response lands in serve.errors
+  // (405/413/503/400/404/500 alike).
+  if (!Shed && Resp.Code >= 400)
     counter("serve.errors").add();
   counter("serve.bytes_out").add(Resp.Body.size());
   return Resp;

@@ -18,16 +18,33 @@
 ///   GET  /metrics             telemetry registry as an aligned table.
 ///   GET  /healthz             "ok".
 ///
+/// Idempotent ingest: an upload carrying an `Idempotency-Key` header is
+/// merged at most once — a retried upload whose first attempt actually
+/// landed (the client just never saw the ack) is acknowledged 200 with
+/// `"deduplicated": true` instead of double-merging. The service keeps a
+/// bounded set of recent keys (Opts.MaxIdempotencyKeys, FIFO eviction);
+/// the check and the record happen under the same lock as the merge, so
+/// concurrent identical uploads cannot both merge.
+///
+/// Backpressure: admit()/release() implement a bounded pending-request
+/// queue for the HTTP server's accept-thread admission hooks — beyond
+/// --max-queue the server sheds with 503 + Retry-After before reading the
+/// request. The fault::Site::Shed drill sheds /ingest and /profile from
+/// inside handle() the same way (healthz/metrics stay observable under
+/// overload). noteTimeout() folds the transport's 408s into accounting.
+///
 /// Caching: merged views are memoized behind a generation counter that
 /// every ingest bumps. Readers take a shared lock and serve the cached
 /// body when its generation matches; the first reader after an ingest
 /// upgrades to the exclusive lock, rebuilds, re-checks (another rebuilder
 /// may have won), and repopulates. Counter accounting is exact: every
 /// request bumps serve.requests plus exactly one of serve.ingests,
-/// serve.cache.{hits,misses}, serve.healthz, serve.metrics, or
-/// serve.errors (any >= 400 response), so
-///   serve.requests == ingests + hits + misses + healthz + metrics + errors
-/// always holds — the soak test asserts it under 32-way concurrency.
+/// serve.cache.{hits,misses}, serve.healthz, serve.metrics, serve.errors
+/// (any >= 400 response), serve.shed, or serve.timeouts, so
+///   serve.requests == ingests + hits + misses + healthz + metrics
+///                     + errors + shed + timeouts
+/// always holds — the soak test asserts it under 32-way concurrency, with
+/// and without shedding.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,10 +56,13 @@
 #include "support/Http.h"
 #include "support/Status.h"
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 
@@ -60,13 +80,19 @@ struct ServiceOptions {
   std::string StoreDir;
   /// Row cap for the plan view.
   unsigned PlanRows = 25;
+  /// Bound on concurrently pending requests (--max-queue=); beyond it
+  /// admit() sheds. 0 = unbounded.
+  unsigned MaxQueue = 0;
+  /// Recent Idempotency-Key values remembered for ingest dedup (FIFO
+  /// eviction beyond this).
+  size_t MaxIdempotencyKeys = 1024;
 };
 
 /// The handler. Thread-safe; one instance serves all connections.
 class ProfileService {
 public:
-  /// Builds a service; when Opts.StoreDir is set, opens the store and
-  /// merges its existing profiles in.
+  /// Builds a service; when Opts.StoreDir is set, opens the store (running
+  /// its recovery pass) and merges its existing profiles in.
   static Expected<std::unique_ptr<ProfileService>>
   create(const ServiceOptions &Opts);
 
@@ -74,13 +100,37 @@ public:
   http::Response handle(const http::Request &Req);
 
   /// Programmatic ingest (CLI seed files; bypasses the HTTP byte budget).
+  /// \p IdemKey, when non-empty, deduplicates: a key seen before skips the
+  /// merge and sets \p Deduplicated. The durable store write happens
+  /// before the in-memory merge, so a failed write is retryable without
+  /// double-merging.
   Status ingest(const DictionaryCompressor &Dict, const std::string &Name,
-                const std::string &Source);
+                const std::string &Source, const std::string &IdemKey = "",
+                bool *Deduplicated = nullptr);
+
+  /// Admission hook for http::ServerOptions::Admit: claims a pending-queue
+  /// slot, or (queue full) accounts one shed request and returns false.
+  bool admit();
+  /// Release hook: returns the slot claimed by admit().
+  void release();
+  /// Currently pending (admitted, not yet finished) requests.
+  uint64_t pendingCount() const {
+    return Pending.load(std::memory_order_relaxed);
+  }
+  /// Accounts one transport-level read-timeout 408 (the server's
+  /// OnReadTimeout hook), keeping the counter equation exact.
+  static void noteTimeout();
+  /// The 503 + Retry-After response every shed path answers with.
+  static http::Response shedResponse();
 
   /// Ingests accepted so far.
   uint64_t ingestCount() const;
   /// Cache generation (bumped per ingest).
   uint64_t generation() const;
+  /// The backing store's recovery report (nullptr when storeless).
+  const StoreRecovery *storeRecovery() const {
+    return Store ? &Store->recovery() : nullptr;
+  }
 
 private:
   explicit ProfileService(ServiceOptions Opts) : Opts(std::move(Opts)) {}
@@ -98,6 +148,8 @@ private:
 
   ServiceOptions Opts;
 
+  std::atomic<uint64_t> Pending{0}; ///< Admitted, not yet released.
+
   mutable std::shared_mutex Mutex;
   DictionaryCompressor Merged;           ///< Guarded by Mutex.
   uint64_t Ingested = 0;                 ///< Guarded by Mutex.
@@ -105,6 +157,10 @@ private:
   /// view key -> (generation it was built at, body).
   std::map<std::string, std::pair<uint64_t, std::string>> ViewCache;
   std::optional<ProfileStore> Store;     ///< Guarded by Mutex.
+  /// Recent ingest idempotency keys (set for lookup, deque for FIFO
+  /// eviction). Guarded by Mutex.
+  std::set<std::string> SeenKeys;
+  std::deque<std::string> KeyOrder;
 };
 
 } // namespace aggregate

@@ -1,0 +1,138 @@
+//===- aggregate/PushClient.cpp -------------------------------------------===//
+
+#include "aggregate/PushClient.h"
+
+#include "support/Crc32.h"
+#include "support/Http.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+using namespace kremlin;
+using namespace kremlin::aggregate;
+namespace tel = kremlin::telemetry;
+
+Expected<PushEndpoint> aggregate::parsePushUrl(const std::string &Url) {
+  auto Bad = [&Url](std::string Msg) {
+    return Status::error(ErrorCode::InvalidArgument,
+                         std::move(Msg) +
+                             " (expected http://<ipv4>[:port]): '" + Url +
+                             "'")
+        .withStage("push-url");
+  };
+  const std::string Scheme = "http://";
+  if (Url.rfind(Scheme, 0) != 0)
+    return Bad("unsupported URL scheme");
+  std::string Rest = Url.substr(Scheme.size());
+  // Strip an optional bare trailing path.
+  if (size_t Slash = Rest.find('/'); Slash != std::string::npos) {
+    if (Rest.substr(Slash) != "/")
+      return Bad("push URLs take no path");
+    Rest.resize(Slash);
+  }
+  PushEndpoint E;
+  size_t Colon = Rest.find(':');
+  E.Host = Rest.substr(0, Colon);
+  if (E.Host.empty())
+    return Bad("missing host");
+  if (Colon != std::string::npos) {
+    char *End = nullptr;
+    unsigned long Port = std::strtoul(Rest.c_str() + Colon + 1, &End, 10);
+    if (!End || *End != '\0' || Port == 0 || Port > 65535)
+      return Bad("malformed port");
+    E.Port = static_cast<uint16_t>(Port);
+  }
+  return E;
+}
+
+std::string aggregate::pushIdempotencyKey(std::string_view Body) {
+  return formatString("crc32-%08x-%zu", crc32(Body), Body.size());
+}
+
+std::string aggregate::pushNameForPath(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Stem =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  if (size_t Dot = Stem.find_last_of('.');
+      Dot != std::string::npos && Dot > 0)
+    Stem.resize(Dot);
+  for (char &C : Stem)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '_' && C != '-')
+      C = '_';
+  return Stem.empty() ? "profile" : Stem;
+}
+
+Expected<PushOutcome> aggregate::pushProfileFile(const std::string &Path,
+                                                 const PushOptions &Opts) {
+  std::string Body;
+  if (!readFileToString(Path, Body))
+    return Status::error(ErrorCode::IoError, "cannot read profile")
+        .withStage("push")
+        .withInput(Path);
+
+  PushOutcome Out;
+  Out.Name = pushNameForPath(Path);
+  Out.Key = pushIdempotencyKey(Body);
+  std::string Target = "/ingest?name=" + Out.Name;
+
+  Backoff Delays(Opts.Retry);
+  unsigned RetryAfterSec = 0;
+  Status Last = Status::success();
+  for (unsigned Attempt = 0; Attempt <= Opts.Retry.MaxRetries; ++Attempt) {
+    if (unsigned DelayMs = Delays.delayMs(Attempt, RetryAfterSec)) {
+      if (Opts.Sleep)
+        Opts.Sleep(DelayMs);
+      else
+        std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    }
+    if (Attempt > 0)
+      tel::Registry::global().counter("push.retries").add();
+    ++Out.Attempts;
+
+    Expected<http::ClientResponse> Resp = http::request(
+        Opts.Endpoint.Host, Opts.Endpoint.Port, "POST", Target, Body,
+        "text/plain; charset=utf-8", {{"Idempotency-Key", Out.Key}},
+        Opts.TimeoutMs);
+    if (!Resp.ok()) {
+      // Transport failure (refused, reset, socket deadline): transient.
+      Last = Resp.status();
+      RetryAfterSec = 0;
+      continue;
+    }
+    const http::ClientResponse &R = Resp.value();
+    if (R.Code == 200) {
+      JsonValue Reply;
+      if (JsonValue::parse(R.Body, Reply)) {
+        Out.Ingested = static_cast<uint64_t>(Reply.getNumber("ingested"));
+        if (const JsonValue *D = Reply.get("deduplicated"))
+          Out.Deduplicated = D->asBool();
+      }
+      return Out;
+    }
+    if (!isRetryableHttpStatus(R.Code))
+      return Status::error(ErrorCode::ExecutionError,
+                           formatString("server rejected push: HTTP %d: %s",
+                                        R.Code,
+                                        std::string(trimString(R.Body))
+                                            .c_str()))
+          .withStage("push")
+          .withInput(Path);
+    Last = Status::error(ErrorCode::DeadlineExceeded,
+                         formatString("transient server error: HTTP %d",
+                                      R.Code))
+        .withStage("push")
+        .withInput(Path);
+    RetryAfterSec = R.retryAfterSec();
+  }
+  return Status::error(Last.code(),
+                       formatString("push failed after %u attempt(s): %s",
+                                    Out.Attempts, Last.message().c_str()))
+      .withStage("push")
+      .withInput(Path);
+}

@@ -1,0 +1,81 @@
+//===- aggregate/PushClient.h - Retrying profile uploader -------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `kremlin push` client: uploads kremlin-trace profiles to a
+/// `kremlin serve` endpoint's POST /ingest, retrying transient failures
+/// (connection errors, 408/429/5xx) with capped jittered exponential
+/// backoff (support/Retry.h) and honoring the server's Retry-After hints.
+///
+/// Every upload carries a content-derived `Idempotency-Key`
+/// ("crc32-<hex>-<bytes>"), so a retry of an upload that actually landed —
+/// the ack was just lost — is acknowledged by the server's dedup set
+/// instead of double-merging: push-with-retries converges to exactly the
+/// profile one clean ingest produces, which the chaos suite asserts
+/// bit-for-bit against a fault-injected server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_AGGREGATE_PUSHCLIENT_H
+#define KREMLIN_AGGREGATE_PUSHCLIENT_H
+
+#include "support/Retry.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace kremlin {
+namespace aggregate {
+
+/// A parsed `http://host:port` push target.
+struct PushEndpoint {
+  std::string Host; ///< IPv4 literal.
+  uint16_t Port = 80;
+};
+
+/// Parses `--url=http://<ipv4>[:port][/]`. InvalidArgument on anything
+/// else (no DNS, no TLS — fleet uploads are loopback/LAN).
+Expected<PushEndpoint> parsePushUrl(const std::string &Url);
+
+/// One push's knobs.
+struct PushOptions {
+  PushEndpoint Endpoint;
+  RetryPolicy Retry;
+  /// Per-attempt socket deadline (ms); 0 = none.
+  unsigned TimeoutMs = 10000;
+  /// Sleep hook (ms) between attempts; tests inject a recorder, the CLI
+  /// leaves it unset for a real sleep.
+  std::function<void(unsigned)> Sleep;
+};
+
+/// What one successful push did.
+struct PushOutcome {
+  unsigned Attempts = 0;    ///< Total attempts made (>= 1).
+  bool Deduplicated = false; ///< Server had already merged this content.
+  uint64_t Ingested = 0;    ///< Server-reported total ingest count.
+  std::string Name;         ///< Store name the profile was pushed under.
+  std::string Key;          ///< Idempotency key sent.
+};
+
+/// Derives the content-hash idempotency key for \p Body.
+std::string pushIdempotencyKey(std::string_view Body);
+
+/// The store name a file pushes under: its stem, with characters outside
+/// [A-Za-z0-9._-] mapped to '_'.
+std::string pushNameForPath(const std::string &Path);
+
+/// Uploads the kremlin-trace file at \p Path to the endpoint's /ingest,
+/// retrying per \p Opts. Fails with the last error once retries are
+/// exhausted, or immediately on a non-retryable HTTP status.
+Expected<PushOutcome> pushProfileFile(const std::string &Path,
+                                      const PushOptions &Opts);
+
+} // namespace aggregate
+} // namespace kremlin
+
+#endif // KREMLIN_AGGREGATE_PUSHCLIENT_H

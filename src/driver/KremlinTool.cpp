@@ -60,8 +60,8 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: kremlin [stats|lint|report|merge|diff|serve] (<source.c> | "
-      "--bench=<name> | --tracking) [options]\n"
+      "usage: kremlin [stats|lint|report|merge|diff|serve|push] "
+      "(<source.c> | --bench=<name> | --tracking) [options]\n"
       "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
       "  --min-sp=<f>                             self-parallelism cutoff\n"
@@ -106,14 +106,16 @@ void printUsage() {
       "The `report` subcommand exports the profiled region tree as a\n"
       "flamegraph (speedscope/collapsed), per-region timeline JSON, or\n"
       "terminal tree; see `kremlin report --help`.\n"
-      "The `merge`, `diff`, and `serve` subcommands aggregate saved\n"
-      "profiles fleet-wide: merge unions compressed traces, diff prints\n"
-      "per-region deltas, serve exposes ingest/report HTTP endpoints;\n"
-      "see each subcommand's --help.\n"
+      "The `merge`, `diff`, `serve`, and `push` subcommands aggregate\n"
+      "saved profiles fleet-wide: merge unions compressed traces, diff\n"
+      "prints per-region deltas, serve exposes ingest/report HTTP\n"
+      "endpoints, push uploads profiles to a serve endpoint with retries\n"
+      "and idempotency keys; see each subcommand's --help.\n"
       "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n"
       "KREMLIN_FAULT=alloc:<p>|trace_corrupt|stage:<name>|bench_throw:<p>|\n"
-      "ingest:<p> (comma-combined, KREMLIN_FAULT_SEED=<n>) enables\n"
-      "deterministic fault injection for testing failure paths.\n");
+      "ingest:<p>|store_write:<p>|shed:<p> (comma-combined,\n"
+      "KREMLIN_FAULT_SEED=<n>) enables deterministic fault injection for\n"
+      "testing failure paths.\n");
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -419,6 +421,9 @@ int main(int argc, char **argv) {
         std::vector<std::string>(argv + 2, argv + argc));
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
     return aggregate::serveMain(
+        std::vector<std::string>(argv + 2, argv + argc));
+  if (argc > 1 && std::strcmp(argv[1], "push") == 0)
+    return aggregate::pushMain(
         std::vector<std::string>(argv + 2, argv + argc));
 
   // `kremlin stats ...` runs the same pipeline but renders the telemetry

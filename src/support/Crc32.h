@@ -1,0 +1,46 @@
+//===- support/Crc32.h - CRC-32 checksums -----------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3: reflected polynomial 0xEDB88320, init/xorout
+/// 0xFFFFFFFF), bit-compatible with zlib's crc32(). Used to checksum
+/// profile-store blobs so a torn or bit-rotted file is detected at store
+/// open instead of surfacing later as a trace-decode error (or, worse,
+/// silently wrong merged numbers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_CRC32_H
+#define KREMLIN_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace kremlin {
+
+/// CRC-32 of \p Data; pass a previous result as \p Seed to checksum in
+/// chunks (crc32(b, crc32(a)) == crc32(a+b)).
+inline uint32_t crc32(std::string_view Data, uint32_t Seed = 0) {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t Crc = ~Seed;
+  for (char Ch : Data)
+    Crc = Table[(Crc ^ static_cast<unsigned char>(Ch)) & 0xFFu] ^ (Crc >> 8);
+  return ~Crc;
+}
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_CRC32_H

@@ -18,6 +18,8 @@
 ///   KREMLIN_FAULT=stage:execute       fail the named pipeline stage
 ///   KREMLIN_FAULT=bench_throw:0.5     throw from ~50% of bench workers
 ///   KREMLIN_FAULT=ingest:0.5          fail ~50% of profile ingests
+///   KREMLIN_FAULT=store_write:0.5     fail ~50% of profile-store writes
+///   KREMLIN_FAULT=shed:0.2            shed ~20% of serve requests (503)
 ///   KREMLIN_FAULT=alloc:0.05,stage:plan     specs combine
 ///
 /// Probabilistic sites draw from a SplitMix64 stream indexed by a global
@@ -54,6 +56,15 @@ enum class Site : unsigned char {
   /// failed fleet upload so the aggregation path's error plumbing is
   /// drillable (spec keyword `ingest`).
   Ingest,
+  /// Profile-store durable write (blob or index): models a disk failure /
+  /// crash mid-write — the temp file is left behind, the rename never
+  /// happens — so store recovery is drillable (spec keyword `store_write`).
+  StoreWrite,
+  /// `kremlin serve` load shedding: the service sheds the request with
+  /// 503 + Retry-After as if its pending-request queue were full, so the
+  /// backpressure path (and clients' retry handling) is drillable without
+  /// generating real overload (spec keyword `shed`).
+  Shed,
 };
 
 namespace detail {

@@ -1,0 +1,71 @@
+//===- support/FileIO.cpp -------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace kremlin;
+
+Status kremlin::atomicWriteFile(const std::string &Path,
+                                std::string_view Contents) {
+  auto Fail = [&Path](const char *What) {
+    return Status::error(ErrorCode::IoError,
+                         formatString("%s: %s", What, std::strerror(errno)))
+        .withStage("atomic-write")
+        .withInput(Path);
+  };
+
+  std::string Tmp = Path + AtomicWriteTmpSuffix;
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return Fail("open(tmp)");
+  size_t Off = 0;
+  while (Off < Contents.size()) {
+    ssize_t N = ::write(Fd, Contents.data() + Off, Contents.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Status St = Fail("write");
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return St;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  // The data must be on disk before the rename publishes it, or a crash
+  // could promote a zero-length/torn temp into place.
+  if (::fsync(Fd) != 0) {
+    Status St = Fail("fsync(tmp)");
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return St;
+  }
+  if (::close(Fd) != 0)
+    return Fail("close(tmp)");
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Status St = Fail("rename");
+    ::unlink(Tmp.c_str());
+    return St;
+  }
+
+  // Make the rename itself durable: fsync the containing directory. Best
+  // effort on filesystems that refuse O_DIRECTORY fsync — the data file
+  // itself is already synced.
+  size_t Slash = Path.find_last_of('/');
+  std::string DirPath = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (DirPath.empty())
+    DirPath = "/";
+  int DirFd = ::open(DirPath.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+  return Status::success();
+}

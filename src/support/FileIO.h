@@ -1,0 +1,42 @@
+//===- support/FileIO.h - Durable file writes -------------------*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe file replacement. writeStringToFile (support/Json.h) is a
+/// plain truncate-and-write: a crash mid-write leaves a torn file, which is
+/// fine for bench artifacts but not for the profile store's index. The
+/// durable path here is the classic write-temp → fsync → atomic-rename →
+/// directory-fsync sequence: after a crash at any point a reader sees
+/// either the complete old contents or the complete new contents, never a
+/// mix. The worst possible leftover is a stale `<path>.tmp`, which store
+/// recovery sweeps on open.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_FILEIO_H
+#define KREMLIN_SUPPORT_FILEIO_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <string_view>
+
+namespace kremlin {
+
+/// The temp-file suffix atomicWriteFile stages through. Recovery sweeps
+/// (and tests) match on it.
+inline constexpr const char *AtomicWriteTmpSuffix = ".tmp";
+
+/// Atomically replaces \p Path with \p Contents: writes `<Path>.tmp`,
+/// fsyncs it, renames it over \p Path, and fsyncs the parent directory so
+/// the rename itself is durable. IoError (naming the failing syscall and
+/// path) on failure; a failed write unlinks its temp file, but a crash can
+/// still strand one — callers that care sweep `*.tmp` on open.
+Status atomicWriteFile(const std::string &Path, std::string_view Contents);
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_FILEIO_H

@@ -22,7 +22,12 @@ namespace tel = kremlin::telemetry;
 
 // --- Parsing ----------------------------------------------------------------
 
-const std::string *Request::header(std::string_view Name) const {
+namespace {
+
+/// Shared case-insensitive lookup over lowercased-name header lists.
+const std::string *
+findHeader(const std::vector<std::pair<std::string, std::string>> &Headers,
+           std::string_view Name) {
   std::string Lower(Name);
   std::transform(Lower.begin(), Lower.end(), Lower.begin(),
                  [](unsigned char C) { return std::tolower(C); });
@@ -30,6 +35,21 @@ const std::string *Request::header(std::string_view Name) const {
     if (K == Lower)
       return &V;
   return nullptr;
+}
+
+} // namespace
+
+const std::string *Request::header(std::string_view Name) const {
+  return findHeader(Headers, Name);
+}
+
+const std::string *ClientResponse::header(std::string_view Name) const {
+  return findHeader(Headers, Name);
+}
+
+unsigned ClientResponse::retryAfterSec() const {
+  const std::string *V = header("retry-after");
+  return V ? static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 10)) : 0;
 }
 
 std::string http::urlDecode(std::string_view Text) {
@@ -68,10 +88,14 @@ const char *http::reasonPhrase(int Code) {
     return "Not Found";
   case 405:
     return "Method Not Allowed";
+  case 408:
+    return "Request Timeout";
   case 409:
     return "Conflict";
   case 413:
     return "Payload Too Large";
+  case 429:
+    return "Too Many Requests";
   case 431:
     return "Request Header Fields Too Large";
   case 500:
@@ -147,6 +171,8 @@ std::string http::serializeResponse(const Response &R) {
   std::string Out = formatString("HTTP/1.1 %d %s\r\n", R.Code,
                                  reasonPhrase(R.Code));
   Out += "Content-Type: " + R.ContentType + "\r\n";
+  for (const auto &[Name, Value] : R.Headers)
+    Out += Name + ": " + Value + "\r\n";
   Out += formatString("Content-Length: %zu\r\n", R.Body.size());
   Out += "Connection: close\r\n\r\n";
   Out += R.Body;
@@ -268,14 +294,63 @@ void Server::acceptLoop() {
       break;
     }
     tel::Registry::global().counter("http.connections").add();
+    // Admission runs here, on the accept thread, so an overloaded server
+    // sheds before the connection consumes a queue slot or a worker: the
+    // reject response is a few hundred bytes, which the socket send buffer
+    // absorbs without blocking the accept loop.
+    if (Opts.Admit && !Opts.Admit()) {
+      tel::Registry::global().counter("http.shed").add();
+      answer(Fd, Opts.RejectResponse);
+      // The client is still mid-send: closing with its request unread
+      // would RST the connection and discard the 503 we just wrote.
+      // Half-close our side and drain (briefly, boundedly — this runs on
+      // the accept thread) until the client sees the response and hangs
+      // up, then close for real.
+      ::shutdown(Fd, SHUT_WR);
+      timeval Tv{};
+      Tv.tv_sec = 1;
+      ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+      char Scratch[4096];
+      for (unsigned I = 0; I < 16; ++I)
+        if (::recv(Fd, Scratch, sizeof(Scratch), 0) <= 0)
+          break;
+      ::close(Fd);
+      continue;
+    }
     Pool->submit([this, Fd] { handleConnection(Fd); });
   }
 }
 
 void Server::handleConnection(int Fd) {
+  // Pair every admitted connection with exactly one Release, however the
+  // handling ends (response, timeout, disconnect, handler exception).
+  struct ReleaseGuard {
+    const std::function<void()> &Fn;
+    ~ReleaseGuard() {
+      if (Fn)
+        Fn();
+    }
+  } Guard{Opts.Release};
+
   timeval Timeout{};
   Timeout.tv_sec = Opts.RecvTimeoutSec;
   ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+  timeval SendTimeout{};
+  SendTimeout.tv_sec = Opts.SendTimeoutSec;
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout, sizeof(SendTimeout));
+
+  // A recv that fails with EAGAIN/EWOULDBLOCK hit the read deadline: the
+  // client is stalling mid-request (slowloris or a dead peer). Answer 408
+  // and reclaim the worker; a clean disconnect (recv == 0) stays silent.
+  auto TimedOut = [&Fd, this]() {
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return false;
+    tel::Registry::global().counter("http.timeouts").add();
+    if (Opts.OnReadTimeout)
+      Opts.OnReadTimeout();
+    answer(Fd, Response::text(408, "request read deadline exceeded\n"));
+    return true;
+  };
 
   // Read until the blank line ending the head, within the header budget.
   std::string Buf;
@@ -289,6 +364,8 @@ void Server::handleConnection(int Fd) {
     }
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N <= 0) {
+      if (N < 0)
+        TimedOut();
       ::close(Fd); // Client went away (or the stop() nudge connection).
       return;
     }
@@ -329,6 +406,8 @@ void Server::handleConnection(int Fd) {
   while (Req.Body.size() < BodyLen) {
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N <= 0) {
+      if (N < 0)
+        TimedOut();
       ::close(Fd);
       return;
     }
@@ -351,11 +430,12 @@ void Server::handleConnection(int Fd) {
 
 // --- Client -----------------------------------------------------------------
 
-Expected<ClientResponse> http::request(const std::string &Host, uint16_t Port,
-                                       const std::string &Method,
-                                       const std::string &Target,
-                                       const std::string &Body,
-                                       const std::string &ContentType) {
+Expected<ClientResponse> http::request(
+    const std::string &Host, uint16_t Port, const std::string &Method,
+    const std::string &Target, const std::string &Body,
+    const std::string &ContentType,
+    const std::vector<std::pair<std::string, std::string>> &ExtraHeaders,
+    unsigned TimeoutMs) {
   auto Fail = [](const char *What) {
     return Status::error(ErrorCode::IoError,
                          formatString("%s: %s", What, std::strerror(errno)))
@@ -364,6 +444,13 @@ Expected<ClientResponse> http::request(const std::string &Host, uint16_t Port,
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return Fail("socket");
+  if (TimeoutMs > 0) {
+    timeval Timeout{};
+    Timeout.tv_sec = TimeoutMs / 1000;
+    Timeout.tv_usec = static_cast<suseconds_t>(TimeoutMs % 1000) * 1000;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
+  }
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_port = htons(Port);
@@ -381,6 +468,8 @@ Expected<ClientResponse> http::request(const std::string &Host, uint16_t Port,
 
   std::string Msg = Method + " " + Target + " HTTP/1.1\r\n";
   Msg += "Host: " + Host + "\r\n";
+  for (const auto &[Name, Value] : ExtraHeaders)
+    Msg += Name + ": " + Value + "\r\n";
   if (!Body.empty() || Method == "POST") {
     Msg += formatString("Content-Length: %zu\r\n", Body.size());
     if (!ContentType.empty())

@@ -16,6 +16,10 @@
 /// sockets. Budgets (header bytes, body bytes) are enforced while reading:
 /// an oversized upload is answered with 413 before the body is buffered
 /// past the limit, so a hostile client cannot balloon server memory.
+/// Per-connection read/write deadlines answer a stalled (slowloris) client
+/// with 408 and reclaim the worker; optional Admit/Release hooks let the
+/// service layer bound the pending-request queue and shed on the accept
+/// thread with 503 + Retry-After before a request is even read.
 ///
 /// A matching blocking client (http::request) exists for tests and drills;
 /// it speaks exactly the subset the server emits.
@@ -62,10 +66,12 @@ struct Request {
   }
 };
 
-/// One response. The server adds Content-Length and Connection headers.
+/// One response. The server adds Content-Length and Connection headers;
+/// anything in Headers (e.g. Retry-After) is emitted verbatim before them.
 struct Response {
   int Code = 200;
   std::string ContentType = "text/plain; charset=utf-8";
+  std::vector<std::pair<std::string, std::string>> Headers;
   std::string Body;
 
   static Response text(int Code, std::string Body) {
@@ -78,6 +84,19 @@ struct Response {
     Response R = text(Code, std::move(Body));
     R.ContentType = "application/json";
     return R;
+  }
+
+  /// Copy of this response with one extra header appended.
+  Response withHeader(std::string Name, std::string Value) const {
+    Response R = *this;
+    R.Headers.emplace_back(std::move(Name), std::move(Value));
+    return R;
+  }
+  /// Copy with a `Retry-After: <Secs>` header — the backoff hint every
+  /// overload (503) and rate-limit (429) response should carry so clients
+  /// know how long to wait before retrying.
+  Response withRetryAfter(unsigned Secs) const {
+    return withHeader("Retry-After", std::to_string(Secs));
   }
 };
 
@@ -107,9 +126,26 @@ struct ServerOptions {
   size_t MaxHeaderBytes = 16384;
   /// listen(2) backlog.
   int Backlog = 128;
-  /// Per-connection socket receive timeout in seconds (a stalled client
-  /// releases its worker instead of wedging the pool).
+  /// Per-connection read deadline in seconds: a client that stalls
+  /// mid-request (slowloris) is answered 408 and dropped instead of
+  /// wedging a worker indefinitely.
   unsigned RecvTimeoutSec = 10;
+  /// Per-connection write deadline in seconds: a client that accepts the
+  /// request but never drains the response releases its worker too.
+  unsigned SendTimeoutSec = 10;
+  /// Admission control, called on the accept thread before a connection
+  /// is queued for a worker. Return false to shed: the server answers
+  /// RejectResponse and closes without reading the request (the cheapest
+  /// possible refusal — no parse, no worker). Release runs exactly once
+  /// per admitted connection when its handling finishes, however it ends.
+  std::function<bool()> Admit;
+  std::function<void()> Release;
+  /// Sent when Admit() returns false.
+  Response RejectResponse =
+      Response::text(503, "server overloaded\n").withRetryAfter(1);
+  /// Called when a read deadline expires and the server answers 408, so
+  /// the service layer can fold timeouts into its request accounting.
+  std::function<void()> OnReadTimeout;
 };
 
 /// The embedded server. start() binds and begins accepting immediately;
@@ -159,16 +195,26 @@ struct ClientResponse {
   int Code = 0;
   std::vector<std::pair<std::string, std::string>> Headers; ///< Lowercased.
   std::string Body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string *header(std::string_view Name) const;
+  /// Parses a `Retry-After: <seconds>` header; 0 when absent/unparseable.
+  unsigned retryAfterSec() const;
 };
 
 /// Performs one HTTP/1.1 request against \p Host:\p Port and reads the
 /// full response (the server closes the connection). For tests, the soak
-/// drill, and CLI health checks.
-Expected<ClientResponse> request(const std::string &Host, uint16_t Port,
-                                 const std::string &Method,
-                                 const std::string &Target,
-                                 const std::string &Body = "",
-                                 const std::string &ContentType = "");
+/// drill, `kremlin push`, and CLI health checks. \p ExtraHeaders are sent
+/// verbatim (e.g. Idempotency-Key); \p TimeoutMs, when nonzero, bounds
+/// each send/recv so a wedged server surfaces as IoError instead of a
+/// hang.
+Expected<ClientResponse>
+request(const std::string &Host, uint16_t Port, const std::string &Method,
+        const std::string &Target, const std::string &Body = "",
+        const std::string &ContentType = "",
+        const std::vector<std::pair<std::string, std::string>>
+            &ExtraHeaders = {},
+        unsigned TimeoutMs = 0);
 
 } // namespace kremlin::http
 

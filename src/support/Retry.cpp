@@ -1,0 +1,36 @@
+//===- support/Retry.cpp --------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include "support/Prng.h"
+
+#include <algorithm>
+
+using namespace kremlin;
+
+unsigned Backoff::delayMs(unsigned Retry) const {
+  if (Retry == 0)
+    return 0;
+  uint64_t Full = Policy.BaseDelayMs;
+  for (unsigned I = 1; I < Retry && Full < Policy.MaxDelayMs; ++I)
+    Full *= 2;
+  Full = std::min<uint64_t>(Full, Policy.MaxDelayMs);
+
+  double Jitter = std::clamp(Policy.JitterFrac, 0.0, 1.0);
+  if (Jitter == 0.0)
+    return static_cast<unsigned>(Full);
+  // One PRNG per (seed, retry) keeps the schedule a pure function of the
+  // policy — the same property the fault-injection draws rely on.
+  Prng R(Policy.Seed ^ (Retry * 0x9e3779b97f4a7c15ULL + 1));
+  double Lo = static_cast<double>(Full) * (1.0 - Jitter);
+  double Drawn = Lo + R.nextDouble() * (static_cast<double>(Full) - Lo);
+  return static_cast<unsigned>(Drawn);
+}
+
+unsigned Backoff::delayMs(unsigned Retry, unsigned RetryAfterSec) const {
+  return std::max(delayMs(Retry), RetryAfterSec * 1000u);
+}
+
+bool kremlin::isRetryableHttpStatus(int Code) {
+  return Code == 408 || Code == 429 || Code >= 500;
+}

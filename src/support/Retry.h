@@ -1,0 +1,75 @@
+//===- support/Retry.h - Capped jittered exponential backoff ----*- C++ -*-===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retry policy behind `kremlin push`: capped exponential backoff with
+/// deterministic jitter. Jitter draws from the project's seeded SplitMix64
+/// stream (support/Prng.h) keyed by (seed, retry number), so a test can pin
+/// the exact backoff schedule while a fleet of real clients (each seeding
+/// from its own identity/clock) still de-synchronizes — the thundering-herd
+/// property jitter exists for.
+///
+/// A server's explicit `Retry-After` hint acts as a floor on the computed
+/// delay: when the server asks for more patience than our schedule would
+/// give, the server wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KREMLIN_SUPPORT_RETRY_H
+#define KREMLIN_SUPPORT_RETRY_H
+
+#include <cstdint>
+
+namespace kremlin {
+
+/// Backoff shape. Defaults suit a loopback/LAN fleet upload.
+struct RetryPolicy {
+  /// Retries after the first attempt (total attempts = MaxRetries + 1).
+  unsigned MaxRetries = 5;
+  /// Delay before the first retry, before jitter.
+  unsigned BaseDelayMs = 100;
+  /// Exponential growth cap.
+  unsigned MaxDelayMs = 5000;
+  /// Jitter window as a fraction of the full delay: the drawn delay is
+  /// uniform in [full * (1 - JitterFrac), full]. 0 = no jitter.
+  double JitterFrac = 0.5;
+  /// Seed for the deterministic jitter stream.
+  uint64_t Seed = 0;
+};
+
+/// Computes per-retry delays for one policy. Stateless between calls:
+/// delayMs(N) is a pure function of (policy, N), so interrupted/resumed
+/// retry loops agree on the schedule.
+class Backoff {
+public:
+  explicit Backoff(const RetryPolicy &Policy) : Policy(Policy) {}
+
+  /// Delay in ms before retry \p Retry (1-based; retry 0 — the first
+  /// attempt — is always 0). Full delay is
+  /// min(BaseDelayMs * 2^(Retry-1), MaxDelayMs), jittered down by up to
+  /// JitterFrac.
+  unsigned delayMs(unsigned Retry) const;
+
+  /// Same, honoring a server `Retry-After` hint in seconds: the result is
+  /// max(delayMs(Retry), RetryAfterSec * 1000). Pass 0 when the server
+  /// sent no hint.
+  unsigned delayMs(unsigned Retry, unsigned RetryAfterSec) const;
+
+  const RetryPolicy &policy() const { return Policy; }
+
+private:
+  RetryPolicy Policy;
+};
+
+/// True for HTTP statuses a client should treat as transient and retry:
+/// 408 (request timeout), 429 (too many requests), and all 5xx (including
+/// the 503 the serve endpoint sheds with under overload and emits from the
+/// ingest fault drill).
+bool isRetryableHttpStatus(int Code);
+
+} // namespace kremlin
+
+#endif // KREMLIN_SUPPORT_RETRY_H

@@ -15,6 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 using namespace kremlin;
 
 namespace {
@@ -60,6 +65,30 @@ TEST(HttpParse, SerializeResponseCarriesLengthAndClose) {
   EXPECT_NE(Wire.find("Connection: close\r\n"), std::string::npos);
   EXPECT_NE(Wire.find("Content-Type: application/json"), std::string::npos);
   EXPECT_EQ(Wire.substr(Wire.size() - 13), "{\"error\":\"x\"}");
+}
+
+TEST(HttpParse, ReasonPhrasesCoverBackpressureCodes) {
+  EXPECT_STREQ(http::reasonPhrase(408), "Request Timeout");
+  EXPECT_STREQ(http::reasonPhrase(429), "Too Many Requests");
+  EXPECT_STREQ(http::reasonPhrase(503), "Service Unavailable");
+}
+
+TEST(HttpParse, ExtraHeadersSerializeAndRetryAfterParses) {
+  http::Response R =
+      http::Response::text(503, "overloaded\n").withRetryAfter(7);
+  std::string Wire = http::serializeResponse(R);
+  EXPECT_NE(Wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(Wire.find("Retry-After: 7\r\n"), std::string::npos);
+
+  http::ClientResponse C;
+  C.Headers.emplace_back("retry-after", "7");
+  EXPECT_EQ(C.retryAfterSec(), 7u);
+  ASSERT_NE(C.header("Retry-After"), nullptr);
+  http::ClientResponse None;
+  EXPECT_EQ(None.retryAfterSec(), 0u);
+  None.Headers.emplace_back("retry-after", "soon");
+  EXPECT_EQ(None.retryAfterSec(), 0u);
 }
 
 TEST(HttpServer, RoundTripsOnKernelAssignedPort) {
@@ -127,6 +156,104 @@ TEST(HttpServer, HandlerExceptionsBecome500) {
       http::request("127.0.0.1", Srv.value()->port(), "GET", "/");
   ASSERT_TRUE(R.ok());
   EXPECT_EQ(R->Code, 500);
+}
+
+TEST(HttpServer, ClientSendsExtraHeaders) {
+  http::ServerOptions Opts;
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [](const http::Request &Req) {
+        const std::string *Key = Req.header("idempotency-key");
+        return http::Response::text(200, Key ? *Key : "(none)");
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  Expected<http::ClientResponse> R = http::request(
+      "127.0.0.1", Srv.value()->port(), "POST", "/", "body", "text/plain",
+      {{"Idempotency-Key", "crc32-cafe-4"}});
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->Body, "crc32-cafe-4");
+}
+
+TEST(HttpServer, StalledClientGets408) {
+  // A slowloris client: opens the connection, dribbles half a request
+  // head, then stalls. The 1-second read deadline must answer 408 and
+  // reclaim the worker instead of wedging it forever.
+  http::ServerOptions Opts;
+  Opts.RecvTimeoutSec = 1;
+  std::atomic<unsigned> Timeouts{0};
+  Opts.OnReadTimeout = [&Timeouts] { ++Timeouts; };
+  Expected<std::unique_ptr<http::Server>> Srv = http::Server::start(
+      Opts, [](const http::Request &) { return http::Response::text(200, "ok"); });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  uint16_t Port = Srv.value()->port();
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  const char Dribble[] = "GET / HTTP/1.1\r\nHost: l"; // ...and stall.
+  ASSERT_GT(::send(Fd, Dribble, sizeof(Dribble) - 1, 0), 0);
+
+  std::string Raw;
+  char Chunk[512];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Raw.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  EXPECT_NE(Raw.find("HTTP/1.1 408 Request Timeout"), std::string::npos)
+      << Raw;
+  EXPECT_EQ(Timeouts.load(), 1u);
+
+  // The worker was reclaimed: a well-behaved request still round-trips.
+  Expected<http::ClientResponse> R =
+      http::request("127.0.0.1", Port, "GET", "/");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->Code, 200);
+}
+
+TEST(HttpServer, AdmissionRejectionShedsBeforeTheWorker) {
+  http::ServerOptions Opts;
+  std::atomic<bool> Open{false};
+  std::atomic<unsigned> Released{0};
+  Opts.Admit = [&Open] { return Open.load(); };
+  Opts.Release = [&Released] { ++Released; };
+  Opts.RejectResponse =
+      http::Response::text(503, "overloaded\n").withRetryAfter(3);
+  std::atomic<unsigned> Handled{0};
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [&Handled](const http::Request &) {
+        ++Handled;
+        return http::Response::text(200, "ok");
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  uint16_t Port = Srv.value()->port();
+
+  // Gate closed: the connection is answered 503 + Retry-After without
+  // ever reaching the handler, and Release is not invoked (the slot was
+  // never claimed).
+  Expected<http::ClientResponse> Shed =
+      http::request("127.0.0.1", Port, "GET", "/");
+  ASSERT_TRUE(Shed.ok()) << Shed.status().toString();
+  EXPECT_EQ(Shed->Code, 503);
+  EXPECT_EQ(Shed->retryAfterSec(), 3u);
+  EXPECT_EQ(Handled.load(), 0u);
+  EXPECT_EQ(Released.load(), 0u);
+
+  // Gate open: admitted, handled, and the slot released exactly once.
+  Open = true;
+  Expected<http::ClientResponse> Ok =
+      http::request("127.0.0.1", Port, "GET", "/");
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok->Code, 200);
+  EXPECT_EQ(Handled.load(), 1u);
+  Srv.value()->stop();
+  EXPECT_GE(Released.load(), 1u);
 }
 
 TEST(HttpServer, ServesConcurrentClients) {

@@ -1,0 +1,95 @@
+//===- tests/RetryTest.cpp - Backoff policy unit tests --------------------===//
+//
+// Pins the deterministic backoff schedule `kremlin push` retries with:
+// exact exponential doubling and cap with jitter off, jitter bounded in
+// [full * (1 - JitterFrac), full], bit-identical schedules for identical
+// (policy, seed), Retry-After acting as a floor, and the transient-status
+// classification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include "gtest/gtest.h"
+
+using namespace kremlin;
+
+namespace {
+
+TEST(Retry, FirstAttemptIsImmediate) {
+  EXPECT_EQ(Backoff(RetryPolicy()).delayMs(0), 0u);
+}
+
+TEST(Retry, NoJitterScheduleIsExactDoublingWithCap) {
+  RetryPolicy P;
+  P.BaseDelayMs = 100;
+  P.MaxDelayMs = 1500;
+  P.JitterFrac = 0.0;
+  Backoff B(P);
+  EXPECT_EQ(B.delayMs(1), 100u);
+  EXPECT_EQ(B.delayMs(2), 200u);
+  EXPECT_EQ(B.delayMs(3), 400u);
+  EXPECT_EQ(B.delayMs(4), 800u);
+  EXPECT_EQ(B.delayMs(5), 1500u); // 1600 hits the cap.
+  EXPECT_EQ(B.delayMs(6), 1500u); // And stays there.
+}
+
+TEST(Retry, JitterStaysInsideItsWindow) {
+  RetryPolicy P;
+  P.BaseDelayMs = 1000;
+  P.MaxDelayMs = 1000000;
+  P.JitterFrac = 0.5;
+  Backoff B(P);
+  for (unsigned Retry = 1; Retry <= 8; ++Retry) {
+    unsigned Full = 1000u << (Retry - 1);
+    unsigned D = B.delayMs(Retry);
+    EXPECT_GE(D, Full / 2) << "retry " << Retry;
+    EXPECT_LE(D, Full) << "retry " << Retry;
+  }
+}
+
+TEST(Retry, ScheduleIsAPureFunctionOfPolicyAndSeed) {
+  RetryPolicy P;
+  P.Seed = 42;
+  Backoff A(P), B(P);
+  for (unsigned Retry = 0; Retry <= 10; ++Retry)
+    EXPECT_EQ(A.delayMs(Retry), B.delayMs(Retry)) << "retry " << Retry;
+
+  // Different seeds de-synchronize (the thundering-herd property). With a
+  // half-width jitter window the schedules colliding at every step would
+  // mean a broken draw.
+  RetryPolicy Q = P;
+  Q.Seed = 43;
+  Backoff C(Q);
+  bool AnyDiffer = false;
+  for (unsigned Retry = 1; Retry <= 10; ++Retry)
+    AnyDiffer |= A.delayMs(Retry) != C.delayMs(Retry);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(Retry, RetryAfterHintIsAFloorNotACeiling) {
+  RetryPolicy P;
+  P.BaseDelayMs = 100;
+  P.JitterFrac = 0.0;
+  Backoff B(P);
+  // Server asks for more patience than the schedule: the server wins.
+  EXPECT_EQ(B.delayMs(1, 2), 2000u);
+  // Schedule already waits longer than the hint: the schedule wins.
+  P.BaseDelayMs = 4000;
+  EXPECT_EQ(Backoff(P).delayMs(1, 2), 4000u);
+  // No hint: plain schedule.
+  EXPECT_EQ(B.delayMs(1, 0), 100u);
+}
+
+TEST(Retry, TransientStatusClassification) {
+  EXPECT_TRUE(isRetryableHttpStatus(408));
+  EXPECT_TRUE(isRetryableHttpStatus(429));
+  EXPECT_TRUE(isRetryableHttpStatus(500));
+  EXPECT_TRUE(isRetryableHttpStatus(503));
+  EXPECT_FALSE(isRetryableHttpStatus(200));
+  EXPECT_FALSE(isRetryableHttpStatus(400));
+  EXPECT_FALSE(isRetryableHttpStatus(404));
+  EXPECT_FALSE(isRetryableHttpStatus(413));
+}
+
+} // namespace

@@ -77,7 +77,8 @@ uint64_t metricFromTable(const std::string &Table, const std::string &Name) {
 /// post-SIGTERM drain summary has somewhere to go (a closed pipe would
 /// turn that printf into a fatal SIGPIPE); the caller closes it after
 /// waitpid.
-bool launchServer(pid_t &Pid, uint16_t &Port, int &OutFd) {
+bool launchServer(pid_t &Pid, uint16_t &Port, int &OutFd,
+                  const char *FaultSpec = nullptr) {
   int Out[2];
   if (pipe(Out) != 0)
     return false;
@@ -88,6 +89,8 @@ bool launchServer(pid_t &Pid, uint16_t &Port, int &OutFd) {
     dup2(Out[1], STDOUT_FILENO);
     close(Out[0]);
     close(Out[1]);
+    if (FaultSpec)
+      setenv("KREMLIN_FAULT", FaultSpec, 1);
     execl(KREMLIN_TOOL_PATH, KREMLIN_TOOL_PATH, "serve", "--port=0",
           "--threads=8", static_cast<char *>(nullptr));
     _exit(127);
@@ -202,6 +205,95 @@ TEST(ServeSoak, ThirtyTwoClientsZeroServerErrors) {
   EXPECT_GE(Ingests, 1u);
 
   // SIGTERM drains in-flight work and exits 0.
+  ASSERT_EQ(kill(Pid, SIGTERM), 0);
+  int WaitStatus = 0;
+  ASSERT_EQ(waitpid(Pid, &WaitStatus, 0), Pid);
+  close(OutFd);
+  EXPECT_TRUE(WIFEXITED(WaitStatus));
+  EXPECT_EQ(WEXITSTATUS(WaitStatus), 0);
+}
+
+TEST(ServeSoak, ShedDrillKeepsCountersExactAndMetricsObservable) {
+  // Same drill, but the child sheds ~15% of ingest/profile requests
+  // (KREMLIN_FAULT=shed) with 503 + Retry-After. Clients treat a shed as
+  // the backpressure signal it is; healthz and metrics stay exempt, so
+  // the final accounting fetch cannot itself be shed — and the extended
+  // equation must balance with the new serve.shed/serve.timeouts terms.
+  pid_t Pid = -1;
+  uint16_t Port = 0;
+  int OutFd = -1;
+  ASSERT_TRUE(launchServer(Pid, Port, OutFd, "shed:0.15"));
+
+  constexpr unsigned NumClients = 16;
+  constexpr unsigned RequestsEach = 12;
+  std::atomic<unsigned> Shed{0}, ServerErrors{0}, TransportErrors{0};
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I < NumClients; ++I)
+    Clients.emplace_back([I, Port, &Shed, &ServerErrors, &TransportErrors] {
+      for (unsigned R = 0; R < RequestsEach; ++R) {
+        Expected<http::ClientResponse> Resp = [&]() {
+          switch ((I + R) % 4) {
+          case 0:
+            return http::request("127.0.0.1", Port, "POST", "/ingest",
+                                 sampleTrace(8 + (I * RequestsEach + R) % 5));
+          case 1:
+            return http::request("127.0.0.1", Port, "GET",
+                                 "/profile?format=tree");
+          case 2:
+            return http::request("127.0.0.1", Port, "GET", "/healthz");
+          default:
+            return http::request("127.0.0.1", Port, "GET",
+                                 "/profile?format=collapsed");
+          }
+        }();
+        if (!Resp.ok()) {
+          ++TransportErrors;
+          continue;
+        }
+        if (Resp->Code == 503) {
+          // A shed must always carry its backoff hint.
+          EXPECT_GE(Resp->retryAfterSec(), 1u) << Resp->Body;
+          ++Shed;
+        } else if (Resp->Code >= 500) {
+          ++ServerErrors;
+        } else {
+          EXPECT_EQ(Resp->Code, 200) << Resp->Body;
+        }
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  EXPECT_EQ(TransportErrors.load(), 0u);
+  EXPECT_EQ(ServerErrors.load(), 0u);
+  EXPECT_GT(Shed.load(), 0u); // ~29 expected at p=0.15 over 192 requests.
+
+  // healthz/metrics are exempt from the drill: under sustained shedding
+  // the store stays observable.
+  Expected<http::ClientResponse> Health =
+      http::request("127.0.0.1", Port, "GET", "/healthz");
+  ASSERT_TRUE(Health.ok());
+  EXPECT_EQ(Health->Code, 200);
+
+  Expected<http::ClientResponse> Metrics =
+      http::request("127.0.0.1", Port, "GET", "/metrics");
+  ASSERT_TRUE(Metrics.ok());
+  ASSERT_EQ(Metrics->Code, 200);
+  auto Metric = [&Metrics](const char *Name) -> uint64_t {
+    return Metrics->Body.find(Name) == std::string::npos
+               ? 0
+               : metricFromTable(Metrics->Body, Name);
+  };
+  uint64_t Requests = Metric("serve.requests");
+  uint64_t ShedN = Metric("serve.shed");
+  EXPECT_EQ(ShedN, Shed.load());
+  EXPECT_EQ(Requests, Metric("serve.ingests") + Metric("serve.cache.hits") +
+                          Metric("serve.cache.misses") +
+                          Metric("serve.healthz") + Metric("serve.metrics") +
+                          Metric("serve.errors") + ShedN +
+                          Metric("serve.timeouts"));
+  EXPECT_EQ(Metric("serve.errors"), 0u); // Sheds are not errors.
+
   ASSERT_EQ(kill(Pid, SIGTERM), 0);
   int WaitStatus = 0;
   ASSERT_EQ(waitpid(Pid, &WaitStatus, 0), Pid);

@@ -209,6 +209,161 @@ TEST(Serve, IngestFaultDrillAnswers503) {
             200);
 }
 
+TEST(Serve, IdempotencyKeyDeduplicatesRetriedUploads) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  std::string Body = writeTrace(sampleProfile());
+  http::Request Req = makeRequest("POST", "/ingest", {}, Body);
+  Req.Headers.emplace_back("idempotency-key", "crc32-deadbeef-42");
+
+  http::Response First = Svc->handle(Req);
+  ASSERT_EQ(First.Code, 200) << First.Body;
+  EXPECT_EQ(Svc->ingestCount(), 1u);
+  uint64_t Gen = Svc->generation();
+
+  // The retry of an upload that already landed: acked 200, flagged as
+  // deduplicated, and nothing merged twice.
+  http::Response Again = Svc->handle(Req);
+  ASSERT_EQ(Again.Code, 200) << Again.Body;
+  JsonValue Reply;
+  ASSERT_TRUE(JsonValue::parse(Again.Body, Reply));
+  EXPECT_TRUE(Reply.get("deduplicated"));
+  EXPECT_EQ(Svc->ingestCount(), 1u);
+  EXPECT_EQ(Svc->generation(), Gen);
+
+  // A different key is a different upload.
+  Req.Headers.back().second = "crc32-deadbeef-43";
+  ASSERT_EQ(Svc->handle(Req).Code, 200);
+  EXPECT_EQ(Svc->ingestCount(), 2u);
+}
+
+TEST(Serve, IdempotencyKeySetIsBounded) {
+  ServiceOptions Opts;
+  Opts.MaxIdempotencyKeys = 2;
+  std::unique_ptr<ProfileService> Svc = makeService(Opts);
+  ASSERT_TRUE(Svc);
+  auto Push = [&](const std::string &Key) {
+    http::Request Req =
+        makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile()));
+    Req.Headers.emplace_back("idempotency-key", Key);
+    return Svc->handle(Req);
+  };
+  ASSERT_EQ(Push("k1").Code, 200);
+  ASSERT_EQ(Push("k2").Code, 200);
+  ASSERT_EQ(Push("k3").Code, 200); // Evicts k1 (FIFO).
+  EXPECT_EQ(Svc->ingestCount(), 3u);
+  // k1 fell out of the window: it merges again rather than deduplicating.
+  ASSERT_EQ(Push("k1").Code, 200);
+  EXPECT_EQ(Svc->ingestCount(), 4u);
+  // k3 is still remembered.
+  ASSERT_EQ(Push("k3").Code, 200);
+  EXPECT_EQ(Svc->ingestCount(), 4u);
+}
+
+TEST(Serve, ShedDrillAnswers503WithRetryAfter) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+
+  uint64_t Shed0 = count("serve.shed"), Err0 = count("serve.errors");
+  ASSERT_TRUE(fault::configure("shed:1.0"));
+  http::Response Ingest = Svc->handle(
+      makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  http::Response View = Svc->handle(makeRequest("GET", "/profile"));
+  // Health and metrics stay observable under overload.
+  http::Response Health = Svc->handle(makeRequest("GET", "/healthz"));
+  http::Response Metrics = Svc->handle(makeRequest("GET", "/metrics"));
+  fault::reset();
+
+  EXPECT_EQ(Ingest.Code, 503);
+  EXPECT_EQ(View.Code, 503);
+  EXPECT_EQ(Health.Code, 200);
+  EXPECT_EQ(Metrics.Code, 200);
+  bool HasRetryAfter = false;
+  for (const auto &[Name, Value] : Ingest.Headers)
+    HasRetryAfter |= Name == "Retry-After" && !Value.empty();
+  EXPECT_TRUE(HasRetryAfter);
+  EXPECT_EQ(count("serve.shed"), Shed0 + 2);
+  // Shed requests are serve.shed, not serve.errors — the equation splits
+  // them so an overloaded-but-healthy server is distinguishable from a
+  // failing one.
+  EXPECT_EQ(count("serve.errors"), Err0);
+  EXPECT_EQ(Svc->ingestCount(), 1u);
+}
+
+TEST(Serve, AdmissionQueueBoundsAndReleases) {
+  ServiceOptions Opts;
+  Opts.MaxQueue = 2;
+  std::unique_ptr<ProfileService> Svc = makeService(Opts);
+  ASSERT_TRUE(Svc);
+
+  uint64_t Req0 = count("serve.requests"), Shed0 = count("serve.shed");
+  EXPECT_TRUE(Svc->admit());
+  EXPECT_TRUE(Svc->admit());
+  EXPECT_EQ(Svc->pendingCount(), 2u);
+  // Queue full: the reject is accounted as a shed request right here
+  // (the connection never reaches handle()).
+  EXPECT_FALSE(Svc->admit());
+  EXPECT_EQ(Svc->pendingCount(), 2u);
+  EXPECT_EQ(count("serve.requests"), Req0 + 1);
+  EXPECT_EQ(count("serve.shed"), Shed0 + 1);
+
+  // Releasing a slot re-opens admission.
+  Svc->release();
+  EXPECT_TRUE(Svc->admit());
+  EXPECT_FALSE(Svc->admit());
+  Svc->release();
+  Svc->release();
+  EXPECT_EQ(Svc->pendingCount(), 0u);
+
+  // The canned shed response carries the backoff hint.
+  http::Response Shed = ProfileService::shedResponse();
+  EXPECT_EQ(Shed.Code, 503);
+  ASSERT_EQ(Shed.Headers.size(), 1u);
+  EXPECT_EQ(Shed.Headers[0].first, "Retry-After");
+}
+
+TEST(Serve, ExtendedCounterEquationCoversShedAndTimeouts) {
+  ServiceOptions Opts;
+  Opts.MaxQueue = 1;
+  std::unique_ptr<ProfileService> Svc = makeService(Opts);
+  ASSERT_TRUE(Svc);
+  uint64_t Req0 = count("serve.requests"), In0 = count("serve.ingests"),
+           Hit0 = count("serve.cache.hits"),
+           Miss0 = count("serve.cache.misses"),
+           Hp0 = count("serve.healthz"), Met0 = count("serve.metrics"),
+           Err0 = count("serve.errors"), Shed0 = count("serve.shed"),
+           To0 = count("serve.timeouts");
+
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  Svc->handle(makeRequest("GET", "/profile"));                // miss
+  Svc->handle(makeRequest("GET", "/healthz"));
+  Svc->handle(makeRequest("POST", "/ingest", {}, "garbage")); // 400
+  // One accept-thread shed (queue full) and one transport 408.
+  ASSERT_TRUE(Svc->admit());
+  EXPECT_FALSE(Svc->admit());
+  Svc->release();
+  ProfileService::noteTimeout();
+  // One drill-shed work request.
+  ASSERT_TRUE(fault::configure("shed:1.0"));
+  Svc->handle(makeRequest("GET", "/profile"));
+  fault::reset();
+  Svc->handle(makeRequest("GET", "/metrics"));
+
+  uint64_t Requests = count("serve.requests") - Req0;
+  EXPECT_EQ(Requests, 8u);
+  EXPECT_EQ(Requests, (count("serve.ingests") - In0) +
+                          (count("serve.cache.hits") - Hit0) +
+                          (count("serve.cache.misses") - Miss0) +
+                          (count("serve.healthz") - Hp0) +
+                          (count("serve.metrics") - Met0) +
+                          (count("serve.errors") - Err0) +
+                          (count("serve.shed") - Shed0) +
+                          (count("serve.timeouts") - To0));
+  EXPECT_EQ(count("serve.shed") - Shed0, 2u);
+  EXPECT_EQ(count("serve.timeouts") - To0, 1u);
+}
+
 TEST(Serve, StorePersistsNamedIngestsAcrossRestarts) {
   std::string Dir = ::testing::TempDir() + "/kremlin_serve_store";
   std::filesystem::remove_all(Dir);
