@@ -10,7 +10,9 @@
 
 #include "GBenchJson.h"
 
+#include "analysis/CallGraph.h"
 #include "analysis/DataFlow.h"
+#include "analysis/ModRef.h"
 #include "analysis/StaticDependence.h"
 #include "instrument/Instrumenter.h"
 #include "parser/Lower.h"
@@ -106,6 +108,86 @@ void BM_AnalyzeModule(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_AnalyzeModule);
+
+/// A call-heavy module: a pure recursive helper, array-parameter writers,
+/// global accumulators, and loops whose verdicts need callee summaries
+/// plus GCD/Banerjee cross-stride subscript pairs.
+std::string interprocSource() {
+  std::string Src = "int a[256];\nint b[256];\nint acc[8];\n";
+  Src += "int fib(int n) {"
+         " if (n < 2) { return n; }"
+         " return fib(n - 1) + fib(n - 2); }\n";
+  Src += "void put(int p[], int i, int v) { p[i] = v; }\n";
+  Src += "int tally(int i) { acc[0] = acc[0] + i; return acc[0]; }\n";
+  Src += "int main() {\n  int s = 0;\n";
+  for (unsigned K = 0; K < 8; ++K) {
+    Src += formatString("  for (int c%u = 0; c%u < 32; c%u = c%u + 1) {"
+                        " a[c%u] = fib(c%u %% 10); }\n",
+                        K, K, K, K, K, K);
+    Src += formatString("  for (int p%u = 0; p%u < 32; p%u = p%u + 1) {"
+                        " put(b, p%u, p%u * 2); }\n",
+                        K, K, K, K, K, K);
+    Src += formatString("  for (int t%u = 0; t%u < 32; t%u = t%u + 1) {"
+                        " s = s + tally(t%u) %% 13; }\n",
+                        K, K, K, K, K);
+    Src += formatString("  for (int g%u = 0; g%u < 32; g%u = g%u + 1) {"
+                        " a[4 * g%u + 1] = a[2 * g%u] + 1; }\n",
+                        K, K, K, K, K, K);
+    Src += formatString("  for (int w%u = 0; w%u < 10; w%u = w%u + 1) {"
+                        " b[w%u + 50] = b[2 * w%u] + 1; }\n",
+                        K, K, K, K, K, K);
+  }
+  Src += "  return s % 1009;\n}\n";
+  return Src;
+}
+
+const Module &interprocModule() {
+  static std::unique_ptr<Module> M = [] {
+    LowerResult LR = compileMiniC(interprocSource(), "interproc.c");
+    if (!LR.succeeded())
+      std::abort();
+    instrumentModule(*LR.M);
+    return std::move(LR.M);
+  }();
+  return *M;
+}
+
+/// Call-graph construction (sites, callee dedup, Tarjan SCCs).
+void BM_CallGraphBuild(benchmark::State &State) {
+  const Module &M = interprocModule();
+  for (auto _ : State) {
+    CallGraph CG(M);
+    benchmark::DoNotOptimize(CG.numFunctions());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CallGraphBuild);
+
+/// Bottom-up mod/ref summaries, including the recursive-SCC fixpoint.
+void BM_ModRefSummaries(benchmark::State &State) {
+  const Module &M = interprocModule();
+  CallGraph CG(M);
+  for (auto _ : State) {
+    ModRefResult MR = computeModRef(M, CG);
+    benchmark::DoNotOptimize(MR.Summaries.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ModRefSummaries);
+
+/// The analyze stage over the call-heavy module: callee-effect merging
+/// plus the GCD and trip-counted Banerjee subscript tests.
+void BM_AnalyzeInterprocModule(benchmark::State &State) {
+  const Module &M = interprocModule();
+  for (auto _ : State) {
+    StaticAnalysisResult R = analyzeModuleDependence(M);
+    if (R.CallsSummarized == 0)
+      State.SkipWithError("no call summaries used");
+    benchmark::DoNotOptimize(R.NumDoall + R.NumReduction + R.NumUnknown);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AnalyzeInterprocModule);
 
 } // namespace
 

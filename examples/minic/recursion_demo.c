@@ -1,0 +1,44 @@
+// recursion_demo.c - Interprocedural lint demo (Kremlin's 07.recursion).
+//
+//   kremlin lint examples/minic/recursion_demo.c
+//
+// `fib` is recursive, so the call graph has a cycle and its mod/ref
+// summary is saturated over the SCC -- but fib touches no caller-visible
+// memory, so it summarizes as pure. The `tabulate` loop therefore gets a
+// real verdict (doall) even though every iteration calls fib: the only
+// memory effect inside the loop is the induction-indexed store to
+// fib_of[]. `scale_by_last` also calls fib, but the callee's purity again
+// keeps the loop provably parallel. Compare with the dynamic view:
+//
+//   kremlin examples/minic/recursion_demo.c
+//
+// which measures the same loops (recursion makes each iteration's work
+// grow, but HCPA still sees the iterations as independent).
+
+int fib_of[24];
+int scaled[24];
+
+int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+
+void tabulate() {
+  for (int i = 0; i < 24; i = i + 1) {
+    fib_of[i] = fib(i);
+  }
+}
+
+void scale_by_last() {
+  for (int i = 0; i < 24; i = i + 1) {
+    scaled[i] = fib_of[i] * fib(8);
+  }
+}
+
+int main() {
+  tabulate();
+  scale_by_last();
+  return fib_of[23] - scaled[23];
+}

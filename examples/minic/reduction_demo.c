@@ -1,0 +1,48 @@
+// reduction_demo.c - Reduction recognition demo (Kremlin's 02.reduction).
+//
+//   kremlin lint examples/minic/reduction_demo.c
+//
+// The `init` loop is a plain doall. The `total` loop carries a real flow
+// dependence through `sum`, but it is a reduction recurrence
+// (sum = sum + data[i]), so lint reports it as `reduction` --
+// parallelizable with a reduction(+) clause. The `largest` loop is the
+// if-guarded max idiom: it too reports `reduction`, with op `max`. Note
+// that HCPA's runtime rule breaks only +/* reductions, so the max loop
+// *measures* serial on any input while still being statically
+// parallelizable -- exactly the input-independence gap lint exists to
+// close. Compare with the dynamic view:
+//
+//   kremlin examples/minic/reduction_demo.c
+
+
+int data[512];
+
+int init() {
+  for (int i = 0; i < 512; i = i + 1) {
+    data[i] = (i * 37 + 11) % 97;
+  }
+  return data[0];
+}
+
+int total() {
+  int sum = 0;
+  for (int i = 0; i < 512; i = i + 1) {
+    sum = sum + data[i];
+  }
+  return sum;
+}
+
+int largest() {
+  int best = 0;
+  for (int i = 0; i < 512; i = i + 1) {
+    if (data[i] > best) {
+      best = data[i];
+    }
+  }
+  return best;
+}
+
+int main() {
+  init();
+  return total() + largest();
+}

@@ -6,9 +6,11 @@
 ///
 /// \file
 /// Static loop-dependence analysis: classifies each natural loop (and the
-/// Loop region it lowers from) by running ZIV/SIV subscript tests on
-/// induction-indexed array accesses plus loop-carried scalar dependence
-/// detection (DataFlow.h).
+/// Loop region it lowers from) by running a subscript-test cascade
+/// (ZIV -> strong SIV -> GCD -> Banerjee) on induction-indexed array
+/// accesses, loop-carried scalar dependence detection (DataFlow.h),
+/// interprocedural mod/ref summaries for loops containing calls
+/// (CallGraph.h / ModRef.h), and reduction idiom recognition.
 ///
 /// Kremlin's self-parallelism is measured on one input; these verdicts are
 /// input-independent, so the planner can demote a loop HCPA happened to
@@ -18,10 +20,14 @@
 ///  - ProvablyDoall: no loop-carried flow dependence exists on any input
 ///    (anti/output and induction/reduction dependences are "easy to break"
 ///    per paper §4.1 and do not count).
+///  - ProvablyReduction: parallelizable like a doall, but only with a
+///    reduction clause -- the sole carried dependences are reduction
+///    recurrences (acc = acc op e with op in {+,*,min,max}, or a
+///    same-cell memory reduction).
 ///  - ProvablySerial: a loop-carried dependence provably occurs on every
 ///    iteration pair *and* its dependence cycle dominates the iteration's
 ///    critical path, so no input can make the loop profitable.
-///  - Unknown: everything the subscript tests cannot decide (calls,
+///  - Unknown: everything the tests cannot decide (opaque callees,
 ///    indirect subscripts, nested loops, symbolic strides).
 ///
 //===----------------------------------------------------------------------===//
@@ -29,6 +35,7 @@
 #ifndef KREMLIN_ANALYSIS_STATICDEPENDENCE_H
 #define KREMLIN_ANALYSIS_STATICDEPENDENCE_H
 
+#include "analysis/ModRef.h"
 #include "ir/Module.h"
 
 #include <map>
@@ -42,6 +49,7 @@ enum class LoopVerdict : unsigned char {
   Unknown = 0,
   ProvablyDoall,
   ProvablySerial,
+  ProvablyReduction,
 };
 
 /// Short lowercase name for tables and diagnostics.
@@ -53,6 +61,8 @@ inline const char *loopVerdictName(LoopVerdict V) {
     return "doall";
   case LoopVerdict::ProvablySerial:
     return "serial";
+  case LoopVerdict::ProvablyReduction:
+    return "reduction";
   }
   return "unknown";
 }
@@ -72,6 +82,24 @@ struct StaticLoopResult {
   /// sink (the read in a later iteration); 0 when unavailable.
   unsigned DepSrcLine = 0;
   unsigned DepDstLine = 0;
+  /// Distinct callee names reached from inside the loop, sorted.
+  std::vector<std::string> Callees;
+  /// Call sites inside the loop, and how many of those had a usable
+  /// (non-opaque) mod/ref summary.
+  unsigned CallSites = 0;
+  unsigned CallsSummarized = 0;
+  /// Reduction recurrences recognized in this loop (scalar accumulators,
+  /// min/max idioms, and same-cell memory reductions), regardless of the
+  /// final verdict.
+  unsigned Reductions = 0;
+  /// ProvablyReduction: the reduction operator set, e.g. "+" or "+,max".
+  std::string ReductionOps;
+  /// ProvablyReduction: at least one recognized recurrence is a min/max
+  /// idiom. HCPA's runtime rule only breaks +/* reductions, so min/max
+  /// loops legitimately *measure* serial while still being parallelizable
+  /// with a reduction -- consumers cross-checking verdicts against measured
+  /// self-parallelism must not flag those.
+  bool MinMaxReduction = false;
 };
 
 /// Whole-module analysis output.
@@ -81,6 +109,16 @@ struct StaticAnalysisResult {
   unsigned NumDoall = 0;
   unsigned NumSerial = 0;
   unsigned NumUnknown = 0;
+  unsigned NumReduction = 0;
+  /// Call sites inside analyzed loops: total and with usable summaries.
+  unsigned CallSites = 0;
+  unsigned CallsSummarized = 0;
+  /// Reduction recurrences recognized across all loops (a loop with two
+  /// accumulators counts twice).
+  unsigned ReductionsRecognized = 0;
+  /// Per-function mod/ref summaries (indexed by FuncId) used to reach the
+  /// verdicts; exported so lint can report callee side effects.
+  ModRefResult ModRef;
 
   /// The result for region \p R, or nullptr if \p R was not analyzed.
   const StaticLoopResult *forRegion(RegionId R) const {
@@ -98,16 +136,27 @@ struct StaticAnalysisResult {
         Map.emplace(L.Region, L.Verdict);
     return Map;
   }
+
+  /// Fraction of analyzed loops left Unknown, in [0,1]; 0 when no loops.
+  double unknownFraction() const {
+    return Loops.empty() ? 0.0
+                         : static_cast<double>(NumUnknown) /
+                               static_cast<double>(Loops.size());
+  }
 };
 
 /// Analyzes every natural loop of \p F. Requires induction/reduction marks
 /// (run after instrumentModule); unmarked IR degrades to Unknown verdicts,
-/// never to unsound ones.
-std::vector<StaticLoopResult> analyzeFunctionDependence(const Module &M,
-                                                        const Function &F);
+/// never to unsound ones. \p MR supplies callee mod/ref summaries; when
+/// null, loops containing calls stay Unknown.
+std::vector<StaticLoopResult>
+analyzeFunctionDependence(const Module &M, const Function &F,
+                          const ModRefResult *MR = nullptr);
 
-/// Analyzes every function of \p M, updates the telemetry registry
-/// (static.loops_analyzed, static.verdict_*) and records wall time.
+/// Analyzes every function of \p M (building the call graph and mod/ref
+/// summaries first), updates the telemetry registry (static.loops_analyzed,
+/// static.verdict_*, static.calls_summarized, static.reductions) and
+/// records wall time.
 StaticAnalysisResult analyzeModuleDependence(const Module &M);
 
 } // namespace kremlin

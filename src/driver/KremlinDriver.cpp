@@ -317,6 +317,17 @@ void KremlinDriver::runPipeline(DriverResult &Result) {
           "%.1f; this input may serialize the loop artificially",
           Result.M->Regions[L.Region].sourceSpan().c_str(), L.Reason.c_str(),
           E.SelfParallelism);
+    else if (L.Verdict == LoopVerdict::ProvablyReduction &&
+             !L.MinMaxReduction && E.SelfParallelism < 1.5)
+      // HCPA breaks +/* reduction recurrences at runtime, so a proven sum/
+      // product reduction should measure parallel; min/max reductions are
+      // exempt -- the runtime rule cannot break them, and a serial
+      // measurement is expected, not a disagreement.
+      Msg = formatString(
+          "%s: provably a reduction (%s) but measured self-parallelism is "
+          "only %.1f; this input may serialize the loop artificially",
+          Result.M->Regions[L.Region].sourceSpan().c_str(), L.Reason.c_str(),
+          E.SelfParallelism);
     if (Msg.empty())
       continue;
     telemetry::Registry::global().counter("static.disagreements").add();

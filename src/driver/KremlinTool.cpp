@@ -39,6 +39,7 @@
 #include "parser/Lower.h"
 #include "report/ReportTool.h"
 #include "suite/PaperSuite.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
@@ -99,7 +100,10 @@ void printUsage() {
       "                                           switch engine instead of\n"
       "                                           the pre-decoded tape\n"
       "The `lint` subcommand runs frontend + static passes only (no\n"
-      "execution) and prints per-loop dependence verdicts.\n"
+      "execution) and prints per-loop dependence verdicts (doall,\n"
+      "reduction, serial, unknown); `--json=<path>` additionally writes\n"
+      "a machine-readable report (per-loop verdicts + reasons, callee\n"
+      "mod/ref summaries); `-` means stdout.\n"
       "The `stats` subcommand runs the same pipeline and renders the\n"
       "telemetry registry as a table instead of the plan;\n"
       "`kremlin stats --diff <a.json> <b.json>` compares two metrics files.\n"
@@ -116,6 +120,91 @@ void printUsage() {
       "ingest:<p>|store_write:<p>|shed:<p> (comma-combined,\n"
       "KREMLIN_FAULT_SEED=<n>) enables deterministic fault injection for\n"
       "testing failure paths.\n");
+}
+
+/// Machine-readable lint report: per-loop verdicts + reasons, the module
+/// summary, and the per-function mod/ref summaries the verdicts used.
+/// Wall time is deliberately omitted so the output is byte-stable and can
+/// be diffed against golden files in CI.
+JsonValue lintReportJson(const DriverResult &Result,
+                         const std::string &SourceName) {
+  const Module &M = *Result.M;
+  const StaticAnalysisResult &S = Result.Static;
+
+  JsonValue Summary = JsonValue::makeObject();
+  Summary.set("loops", static_cast<unsigned>(S.Loops.size()));
+  Summary.set("doall", S.NumDoall);
+  Summary.set("reduction", S.NumReduction);
+  Summary.set("serial", S.NumSerial);
+  Summary.set("unknown", S.NumUnknown);
+  Summary.set("unknown_fraction", S.unknownFraction());
+  Summary.set("call_sites", S.CallSites);
+  Summary.set("calls_summarized", S.CallsSummarized);
+  Summary.set("reductions", S.ReductionsRecognized);
+
+  JsonValue Loops = JsonValue::makeArray();
+  for (const StaticLoopResult &L : S.Loops) {
+    JsonValue O = JsonValue::makeObject();
+    O.set("function", L.Func != NoFunc ? M.Functions[L.Func].Name : "?");
+    O.set("where", L.Region != NoRegion ? M.Regions[L.Region].sourceSpan()
+                   : L.Func != NoFunc   ? M.Functions[L.Func].Name
+                                        : "?");
+    O.set("verdict", loopVerdictName(L.Verdict));
+    O.set("reason", L.Reason);
+    if (L.DepSrcLine != 0 || L.DepDstLine != 0) {
+      O.set("dep_src_line", L.DepSrcLine);
+      O.set("dep_dst_line", L.DepDstLine);
+    }
+    if (!L.Callees.empty()) {
+      JsonValue Callees = JsonValue::makeArray();
+      for (const std::string &Name : L.Callees)
+        Callees.push(Name);
+      O.set("callees", std::move(Callees));
+      O.set("call_sites", L.CallSites);
+      O.set("calls_summarized", L.CallsSummarized);
+    }
+    if (L.Reductions != 0) {
+      O.set("reductions", L.Reductions);
+      O.set("reduction_ops", L.ReductionOps);
+    }
+    Loops.push(std::move(O));
+  }
+
+  JsonValue Funcs = JsonValue::makeArray();
+  for (size_t F = 0; F < S.ModRef.Summaries.size() && F < M.Functions.size();
+       ++F) {
+    const ModRefSummary &Sum = S.ModRef.Summaries[F];
+    JsonValue O = JsonValue::makeObject();
+    O.set("name", M.Functions[F].Name);
+    O.set("opaque", Sum.Opaque);
+    O.set("recursive", Sum.Recursive);
+    JsonValue Reads = JsonValue::makeArray();
+    for (GlobalId G : Sum.GlobalReads)
+      Reads.push(G < M.Globals.size() ? M.Globals[G].Name : "?");
+    O.set("global_reads", std::move(Reads));
+    JsonValue Writes = JsonValue::makeArray();
+    for (GlobalId G : Sum.GlobalWrites)
+      Writes.push(G < M.Globals.size() ? M.Globals[G].Name : "?");
+    O.set("global_writes", std::move(Writes));
+    JsonValue PReads = JsonValue::makeArray();
+    for (unsigned K = 0; K < Sum.ParamReads.size(); ++K)
+      if (Sum.ParamReads[K])
+        PReads.push(K);
+    O.set("param_reads", std::move(PReads));
+    JsonValue PWrites = JsonValue::makeArray();
+    for (unsigned K = 0; K < Sum.ParamWrites.size(); ++K)
+      if (Sum.ParamWrites[K])
+        PWrites.push(K);
+    O.set("param_writes", std::move(PWrites));
+    Funcs.push(std::move(O));
+  }
+
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("source", SourceName);
+  Doc.set("summary", std::move(Summary));
+  Doc.set("loops", std::move(Loops));
+  Doc.set("functions", std::move(Funcs));
+  return Doc;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -447,6 +536,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> DiffPaths;
   std::string SaveTracePath, LoadTracePath;
   std::string TraceOut, MetricsOut;
+  std::string LintJsonPath;
   tel::TraceSinkConfig SinkCfg;
   TraceReadLimits ReadLimits;
   size_t Rows = 25;
@@ -504,6 +594,12 @@ int main(int argc, char **argv) {
       SinkCfg.FlushKb = std::strtoull(Value().c_str(), nullptr, 10);
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
       MetricsOut = Value();
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      if (!LintMode) {
+        tel::logError("cli", "--json=<path> is a `kremlin lint` option");
+        return 1;
+      }
+      LintJsonPath = Value();
     } else if (Arg == "--profile") {
       DumpProfile = true;
     } else if (Arg == "--verify-ir") {
@@ -622,11 +718,28 @@ int main(int argc, char **argv) {
                     loopVerdictName(L.Verdict), L.Reason});
     }
     std::fputs(Table.render().c_str(), stdout);
-    std::printf("lint: %zu loop(s) analyzed -- %u doall, %u serial, "
-                "%u unknown (%.1f ms)\n",
+    std::printf("lint: %zu loop(s) analyzed -- %u doall, %u reduction, "
+                "%u serial, %u unknown (%.0f%% unknown); %u/%u call "
+                "site(s) summarized (%.1f ms)\n",
                 Result.Static.Loops.size(), Result.Static.NumDoall,
-                Result.Static.NumSerial, Result.Static.NumUnknown,
+                Result.Static.NumReduction, Result.Static.NumSerial,
+                Result.Static.NumUnknown,
+                100.0 * Result.Static.unknownFraction(),
+                Result.Static.CallsSummarized, Result.Static.CallSites,
                 Result.Static.WallMs);
+    if (!LintJsonPath.empty()) {
+      std::string Doc = lintReportJson(Result, SourceName).serialize() + "\n";
+      if (LintJsonPath == "-") {
+        std::fputs(Doc.c_str(), stdout);
+      } else {
+        std::ofstream JsonOut(LintJsonPath);
+        if (!JsonOut || !(JsonOut << Doc)) {
+          tel::logf(tel::LogLevel::Error, "cli", "cannot write '%s'",
+                    LintJsonPath.c_str());
+          return 1;
+        }
+      }
+    }
     if (!writeTelemetryOutputs(TraceOut, MetricsOut))
       return 1;
     return 0;

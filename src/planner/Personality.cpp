@@ -138,7 +138,8 @@ public:
       // A statically proven loop-carried dependence overrides whatever the
       // dynamic profile measured on this input: recommending the region
       // would send the programmer at a loop that cannot be parallelized.
-      if (staticVerdictOf(Opts, R) == LoopVerdict::ProvablySerial) {
+      LoopVerdict V = staticVerdictOf(Opts, R);
+      if (V == LoopVerdict::ProvablySerial) {
         planDecision(R, false, "provably-serial");
         return false;
       }
@@ -151,11 +152,21 @@ public:
       }
       const RegionProfileEntry &E = Profile.entry(R);
       if (E.SelfParallelism < Opts.MinSelfParallelism) {
-        planDecision(R, false, "self-parallelism-below-threshold");
-        return false;
+        // A statically proven reduction can measure serial when HCPA's
+        // runtime rule cannot break its recurrence (min/max idioms); the
+        // loop still parallelizes with a reduction clause, so let its
+        // iteration count stand in for the understated measurement.
+        if (!(V == LoopVerdict::ProvablyReduction &&
+              E.avgIterations() >= Opts.MinSelfParallelism)) {
+          planDecision(R, false, "self-parallelism-below-threshold");
+          return false;
+        }
       }
-      // Reduction loops must amortize OpenMP's reduction overhead.
-      if (SR.HasReduction && E.avgWork() < Opts.MinReductionWork) {
+      // Reduction loops must amortize OpenMP's reduction overhead --
+      // whether the reduction was observed dynamically or proven
+      // statically.
+      if ((SR.HasReduction || V == LoopVerdict::ProvablyReduction) &&
+          E.avgWork() < Opts.MinReductionWork) {
         planDecision(R, false, "reduction-overhead-unamortized");
         return false;
       }
@@ -237,12 +248,15 @@ public:
         planDecision(R, false, "excluded");
         continue;
       }
-      if (staticVerdictOf(Opts, R) == LoopVerdict::ProvablySerial) {
+      LoopVerdict V = staticVerdictOf(Opts, R);
+      if (V == LoopVerdict::ProvablySerial) {
         planDecision(R, false, "provably-serial");
         continue;
       }
       const RegionProfileEntry &E = Profile.entry(R);
-      if (E.SelfParallelism < MinSP) {
+      if (E.SelfParallelism < MinSP &&
+          !(V == LoopVerdict::ProvablyReduction &&
+            E.avgIterations() >= MinSP)) {
         planDecision(R, false, "self-parallelism-below-threshold");
         continue;
       }
@@ -314,9 +328,12 @@ public:
         continue;
       if (E.CoveragePct < Opts.MinCoveragePct)
         continue;
-      if (E.SelfParallelism < Opts.MinSelfParallelism)
+      LoopVerdict V = staticVerdictOf(Opts, E.Id);
+      if (E.SelfParallelism < Opts.MinSelfParallelism &&
+          !(V == LoopVerdict::ProvablyReduction &&
+            E.avgIterations() >= Opts.MinSelfParallelism))
         continue;
-      if (staticVerdictOf(Opts, E.Id) == LoopVerdict::ProvablySerial)
+      if (V == LoopVerdict::ProvablySerial)
         continue;
       Items.push_back(makePlanItem(Profile, E.Id));
     }

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/BenchHarness.h"
+#include "support/Json.h"
 
 #include "gtest/gtest.h"
 
@@ -119,7 +120,145 @@ TEST(Cli, LintDemoExampleMatchesItsComment) {
   std::string Out = runTool(
       "lint " KREMLIN_EXAMPLES_DIR "/minic/lint_demo.c", Code);
   EXPECT_EQ(Code, 0);
-  EXPECT_NE(Out.find("1 doall, 1 serial"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("1 doall, 0 reduction, 1 serial"), std::string::npos)
+      << Out;
+}
+
+TEST(Cli, LintRecursionDemoSummarizesPureCallee) {
+  // recursion_demo.c: both loops call the recursive fib, whose saturated
+  // mod/ref summary is pure — so both loops are doall, with the call
+  // sites accounted for in the summary line.
+  int Code = 0;
+  std::string Out = runTool(
+      "lint " KREMLIN_EXAMPLES_DIR "/minic/recursion_demo.c", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("2 doall, 0 reduction, 0 serial, 0 unknown"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("2/2 call site(s) summarized"), std::string::npos)
+      << Out;
+}
+
+TEST(Cli, LintReductionDemoRecognizesBothIdioms) {
+  // reduction_demo.c: one plain doall, one + reduction, one max fold.
+  int Code = 0;
+  std::string Out = runTool(
+      "lint " KREMLIN_EXAMPLES_DIR "/minic/reduction_demo.c", Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("1 doall, 2 reduction, 0 serial, 0 unknown"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("reduction(+)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("reduction(max)"), std::string::npos) << Out;
+}
+
+TEST(Cli, LintJsonReportParsesAndMatchesTable) {
+  std::string JsonPath = scratchPath("cli_lint.json");
+  int Code = 0;
+  std::string Out = runTool("lint " KREMLIN_EXAMPLES_DIR
+                            "/minic/reduction_demo.c --json=" + JsonPath,
+                            Code);
+  EXPECT_EQ(Code, 0);
+  std::ifstream In(JsonPath);
+  ASSERT_TRUE(In.good());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::remove(JsonPath.c_str());
+  kremlin::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(kremlin::JsonValue::parse(SS.str(), Doc, &Error)) << Error;
+  const kremlin::JsonValue *Summary = Doc.get("summary");
+  ASSERT_NE(Summary, nullptr);
+  EXPECT_EQ(Summary->get("loops")->asNumber(), 3.0);
+  EXPECT_EQ(Summary->get("doall")->asNumber(), 1.0);
+  EXPECT_EQ(Summary->get("reduction")->asNumber(), 2.0);
+  EXPECT_EQ(Summary->get("unknown")->asNumber(), 0.0);
+  const kremlin::JsonValue *Loops = Doc.get("loops");
+  ASSERT_NE(Loops, nullptr);
+  ASSERT_EQ(Loops->size(), 3u);
+  std::multiset<std::string> Verdicts;
+  for (size_t I = 0; I < Loops->size(); ++I)
+    Verdicts.insert(Loops->at(I).get("verdict")->asString());
+  EXPECT_EQ(Verdicts, (std::multiset<std::string>{"doall", "reduction",
+                                                  "reduction"}));
+  // The report carries the mod/ref side of the analysis too.
+  const kremlin::JsonValue *Funcs = Doc.get("functions");
+  ASSERT_NE(Funcs, nullptr);
+  ASSERT_GT(Funcs->size(), 0u);
+  // The machine-readable report is deliberately free of wall-clock noise.
+  EXPECT_EQ(SS.str().find("wall"), std::string::npos);
+
+  // `--json=-` streams the same document to stdout.
+  std::string StdoutRun = runTool("lint " KREMLIN_EXAMPLES_DIR
+                                  "/minic/reduction_demo.c --json=-",
+                                  Code);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(StdoutRun.find("\"verdict\": \"reduction\""), std::string::npos)
+      << StdoutRun;
+
+  // Outside lint mode the flag is rejected.
+  runTool(KREMLIN_EXAMPLES_DIR "/minic/lint_demo.c --json=-", Code);
+  EXPECT_NE(Code, 0);
+}
+
+TEST(Cli, LintGoldenVerdictsOverExamplesCorpus) {
+  // Every shipped example's lint verdicts are pinned in
+  // tests/golden/lint_verdicts.json; drift means either a regression or
+  // an intentional analyzer change (update the golden deliberately).
+  std::string GoldenText;
+  {
+    std::ifstream In(KREMLIN_GOLDEN_DIR "/lint_verdicts.json");
+    ASSERT_TRUE(In.good()) << "missing golden lint_verdicts.json";
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    GoldenText = SS.str();
+  }
+  kremlin::JsonValue Golden;
+  std::string Error;
+  ASSERT_TRUE(kremlin::JsonValue::parse(GoldenText, Golden, &Error)) << Error;
+  ASSERT_TRUE(Golden.isObject());
+  for (const auto &[File, Want] : Golden.members()) {
+    std::string JsonPath = scratchPath("cli_golden.json");
+    int Code = 0;
+    std::string Out = runTool("lint " KREMLIN_EXAMPLES_DIR "/minic/" + File +
+                              " --json=" + JsonPath,
+                              Code);
+    ASSERT_EQ(Code, 0) << File << ": " << Out;
+    std::ifstream In(JsonPath);
+    ASSERT_TRUE(In.good()) << File;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::remove(JsonPath.c_str());
+    kremlin::JsonValue Got;
+    ASSERT_TRUE(kremlin::JsonValue::parse(SS.str(), Got, &Error))
+        << File << ": " << Error;
+    // Compare the stable core: per-loop verdicts and the summary counts.
+    const kremlin::JsonValue *WantLoops = Want.get("loops");
+    const kremlin::JsonValue *GotLoops = Got.get("loops");
+    ASSERT_NE(WantLoops, nullptr) << File;
+    ASSERT_NE(GotLoops, nullptr) << File;
+    ASSERT_EQ(GotLoops->size(), WantLoops->size()) << File;
+    for (size_t I = 0; I < WantLoops->size(); ++I) {
+      EXPECT_EQ(GotLoops->at(I).get("verdict")->asString(),
+                WantLoops->at(I).get("verdict")->asString())
+          << File << " loop " << I;
+      EXPECT_EQ(GotLoops->at(I).get("reason")->asString(),
+                WantLoops->at(I).get("reason")->asString())
+          << File << " loop " << I;
+      // The golden pins repo-relative paths; this run used an absolute
+      // one. The line span (and trailing filename) must still agree.
+      std::string WantWhere = WantLoops->at(I).get("where")->asString();
+      std::string GotWhere = GotLoops->at(I).get("where")->asString();
+      std::string Span = WantWhere.substr(WantWhere.rfind(" ("));
+      EXPECT_NE(GotWhere.find(Span), std::string::npos)
+          << File << " loop " << I << ": " << GotWhere << " vs "
+          << WantWhere;
+    }
+    for (const char *Key : {"doall", "reduction", "serial", "unknown"})
+      EXPECT_EQ(Got.get("summary")->get(Key)->asNumber(),
+                Want.get("summary")->get(Key)->asNumber())
+          << File << " summary." << Key;
+  }
 }
 
 TEST(Cli, SaveTrace) {

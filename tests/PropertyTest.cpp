@@ -57,7 +57,7 @@ private:
   void indent(unsigned Depth) { Src.append(2 * Depth + 2, ' '); }
 
   void emitStmt(unsigned Depth, unsigned CanCall) {
-    switch (Rng.nextBelow(Depth >= 3 ? 4 : 8)) {
+    switch (Rng.nextBelow(Depth >= 3 ? 4 : 10)) {
     case 0: // Scalar update chain.
       indent(Depth);
       Src += formatString("v = v * %llu + %llu;\n",
@@ -83,6 +83,32 @@ private:
       Src += formatString("v = v + mem[((v %% 64 + 64) * 7 + %llu) %% 64] %% 13;\n",
                           (unsigned long long)Rng.nextBelow(64));
       break;
+    case 7: { // Scalar + reduction over read-only cells.
+      unsigned Id = LoopCounter++;
+      unsigned Iters = 4 + Rng.nextBelow(13);
+      indent(Depth);
+      Src += formatString("for (int z%u = 0; z%u < %u; z%u = z%u + 1) {\n",
+                          Id, Id, Iters, Id, Id);
+      indent(Depth + 1);
+      Src += formatString("v = v + par[z%u %% 16] %% 9;\n", Id, Id);
+      indent(Depth);
+      Src += "}\n";
+      break;
+    }
+    case 8: { // Min/max fold: the if-guarded replacement idiom.
+      unsigned Id = LoopCounter++;
+      unsigned Iters = 4 + Rng.nextBelow(13);
+      const char *Rel = Rng.nextBool(0.5) ? ">" : "<";
+      indent(Depth);
+      Src += formatString("for (int m%u = 0; m%u < %u; m%u = m%u + 1) {\n",
+                          Id, Id, Iters, Id, Id);
+      indent(Depth + 1);
+      Src += formatString("if (aux[m%u %% 32] %s v) { v = aux[m%u %% 32]; }\n",
+                          Id, Rel, Id);
+      indent(Depth);
+      Src += "}\n";
+      break;
+    }
     case 3: // Call (only to already-defined functions).
       if (CanCall > 0) {
         indent(Depth);
@@ -305,7 +331,131 @@ TEST_P(PipelineProperty, StaticVerdictsConsistentWithMeasurement) {
     } else if (L.Verdict == LoopVerdict::ProvablySerial) {
       EXPECT_LT(E.SelfParallelism, 5.0)
           << Run.M->Regions[L.Region].sourceSpan() << ": " << L.Reason;
+    } else if (L.Verdict == LoopVerdict::ProvablyReduction &&
+               !L.MinMaxReduction) {
+      // HCPA's runtime rule breaks +/* reductions, so a provable
+      // reduction must also *measure* parallel. Min/max folds are exempt:
+      // the runtime cannot break those, and they legitimately measure
+      // serial on every input.
+      EXPECT_GE(E.SelfParallelism, 0.7 * E.avgIterations())
+          << Run.M->Regions[L.Region].sourceSpan() << ": " << L.Reason;
     }
+  }
+}
+
+/// A program whose loops each live in their own function with a verdict
+/// known by construction: scalar +/* reductions, min/max folds, doall
+/// loops calling a pure recursive helper, and plain doall loops —
+/// randomly parameterized (op, relation, trip count, constants).
+class KnownVerdictProgram {
+public:
+  struct ExpectedLoop {
+    std::string Func;
+    LoopVerdict Verdict;
+    bool MinMax = false;
+  };
+
+  explicit KnownVerdictProgram(uint64_t Seed) {
+    Prng Rng(Seed);
+    Src += "int data[48];\n";
+    Src += "int out[16];\n";
+    Src += "int pure3(int x) {"
+           " if (x < 1) { return 1; }"
+           " return pure3(x - 2) + 1; }\n";
+    unsigned NumLoops = 4 + Rng.nextBelow(4);
+    std::string MainBody;
+    for (unsigned K = 0; K < NumLoops; ++K) {
+      std::string Name = formatString("loop%u", K);
+      unsigned Kind = Rng.nextBelow(5);
+      unsigned Iters = 4 + Rng.nextBelow(12); // <= 15: in bounds of out.
+      unsigned long long C = Rng.nextInRange(1, 9);
+      Src += "int " + Name + "() {\n";
+      switch (Kind) {
+      case 0: // sum += data[i] (the accumulator must be a top-level
+              // operand of the update for the reduction mark to fire)
+        Src += formatString("  int s = %llu;\n"
+                            "  for (int i = 0; i < %u; i = i + 1) {"
+                            " s = s + data[i]; }\n"
+                            "  return s;\n",
+                            C, Iters);
+        Expected.push_back({Name, LoopVerdict::ProvablyReduction, false});
+        break;
+      case 1: // prod *= small factor
+        Src += formatString("  int p = 1;\n"
+                            "  for (int i = 0; i < %u; i = i + 1) {"
+                            " p = p * (data[i] %% 3 + 1); }\n"
+                            "  return p;\n",
+                            Iters);
+        Expected.push_back({Name, LoopVerdict::ProvablyReduction, false});
+        break;
+      case 2: { // min/max fold
+        bool Max = Rng.nextBool(0.5);
+        Src += formatString("  int b = data[0];\n"
+                            "  for (int i = 0; i < %u; i = i + 1) {"
+                            " if (data[i] %s b) { b = data[i]; } }\n"
+                            "  return b;\n",
+                            Iters, Max ? ">" : "<");
+        Expected.push_back({Name, LoopVerdict::ProvablyReduction, true});
+        break;
+      }
+      case 3: // doall through a summarized pure recursive callee
+        Src += formatString("  for (int i = 0; i < %u; i = i + 1) {"
+                            " out[i] = pure3(i %% 7) + %llu; }\n"
+                            "  return out[0];\n",
+                            Iters, C);
+        Expected.push_back({Name, LoopVerdict::ProvablyDoall, false});
+        break;
+      default: // plain doall
+        Src += formatString("  for (int i = 0; i < %u; i = i + 1) {"
+                            " out[i] = i * 2 + %llu; }\n"
+                            "  return out[0];\n",
+                            Iters, C);
+        Expected.push_back({Name, LoopVerdict::ProvablyDoall, false});
+        break;
+      }
+      Src += "}\n";
+      MainBody += "  acc = acc + " + Name + "() % 501;\n";
+    }
+    Src += "int main() {\n  int acc = 0;\n";
+    Src += "  for (int w = 0; w < 48; w = w + 1) {"
+           " data[w] = (w * 13 + 7) % 101; }\n";
+    Src += MainBody;
+    Src += "  return acc % 1009;\n}\n";
+  }
+
+  const std::string &source() const { return Src; }
+  const std::vector<ExpectedLoop> &expected() const { return Expected; }
+
+private:
+  std::string Src;
+  std::vector<ExpectedLoop> Expected;
+};
+
+TEST_P(PipelineProperty, KnownVerdictLoopsClassifyAndMeasureConsistently) {
+  KnownVerdictProgram P(GetParam());
+  SCOPED_TRACE(P.source());
+  ProfiledRun Run = profileSource(P.source());
+  StaticAnalysisResult R = analyzeModuleDependence(*Run.M);
+  for (const KnownVerdictProgram::ExpectedLoop &X : P.expected()) {
+    const StaticLoopResult *Found = nullptr;
+    for (const StaticLoopResult &L : R.Loops)
+      if (L.Func != NoFunc && Run.M->Functions[L.Func].Name == X.Func)
+        Found = &L;
+    ASSERT_NE(Found, nullptr) << X.Func;
+    EXPECT_EQ(Found->Verdict, X.Verdict)
+        << X.Func << ": " << Found->Reason;
+    EXPECT_EQ(Found->MinMaxReduction, X.MinMax) << X.Func;
+    if (Found->Region == NoRegion)
+      continue;
+    const RegionProfileEntry &E = Run.Profile->entry(Found->Region);
+    if (!E.Executed || E.avgIterations() < 2.0)
+      continue;
+    // Every provable verdict must square with the measured profile
+    // (min/max folds exempt: the runtime cannot break them).
+    if (X.Verdict == LoopVerdict::ProvablyDoall ||
+        (X.Verdict == LoopVerdict::ProvablyReduction && !X.MinMax))
+      EXPECT_GE(E.SelfParallelism, 0.7 * E.avgIterations())
+          << X.Func << ": " << Found->Reason;
   }
 }
 

@@ -193,15 +193,60 @@ TEST(StaticDependence, IndependentCellsAreDoall) {
   EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
 }
 
-TEST(StaticDependence, ReductionIsBreakableHenceDoall) {
-  // HCPA ignores reduction dependences (paper §4.1); so does the static
-  // verdict — the loop is parallelizable with a reduction clause.
+TEST(StaticDependence, ReductionRecurrenceIsProvablyReduction) {
+  // HCPA ignores reduction dependences (paper §4.1); the static verdict
+  // says so explicitly: parallelizable, but only with a reduction clause.
   StaticLoopResult L = analyzeSingleLoop(
       "int a[64];"
       "int main() { int s = 0;"
       " for (int i = 0; i < 64; i = i + 1) { s = s + a[i]; }"
       " return s; }");
-  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyReduction);
+  EXPECT_EQ(L.ReductionOps, "+");
+  EXPECT_EQ(L.Reductions, 1u);
+  EXPECT_FALSE(L.MinMaxReduction);
+}
+
+TEST(StaticDependence, MaxIdiomIsProvablyReduction) {
+  // The if-guarded replacement is a running max: associative and
+  // commutative, so parallelizable with reduction(max) — even though
+  // HCPA's runtime rule only breaks +/* accumulators and will *measure*
+  // this loop as serial (hence the MinMaxReduction flag for consumers
+  // cross-checking against the profile).
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() { int best = 0;"
+      " for (int i = 0; i < 64; i = i + 1) {"
+      "   if (a[i] > best) { best = a[i]; }"
+      " }"
+      " return best; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyReduction);
+  EXPECT_EQ(L.ReductionOps, "max");
+  EXPECT_TRUE(L.MinMaxReduction);
+}
+
+TEST(StaticDependence, MinIdiomIsProvablyReduction) {
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() { int low = 9999;"
+      " for (int i = 0; i < 64; i = i + 1) {"
+      "   if (a[i] < low) { low = a[i]; }"
+      " }"
+      " return low; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyReduction);
+  EXPECT_EQ(L.ReductionOps, "min");
+  EXPECT_TRUE(L.MinMaxReduction);
+}
+
+TEST(StaticDependence, SameCellAccumulationIsReduction) {
+  // A memory reduction: every iteration rewrites a[0] = a[0] + b[i].
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[4]; int b[64];"
+      "int main() {"
+      " for (int i = 0; i < 64; i = i + 1) { a[0] = a[0] + b[i]; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyReduction);
+  EXPECT_EQ(L.ReductionOps, "+");
 }
 
 TEST(StaticDependence, IndirectSubscriptIsUnknown) {
@@ -222,7 +267,195 @@ TEST(StaticDependence, CallInLoopIsUnknown) {
       " return s; }");
   instrumentModule(*M);
   StaticAnalysisResult R = analyzeModuleDependence(*M);
+  // bump() both reads and writes g[]: successive calls may carry a flow
+  // dependence through g[0], so the summary cannot clear the loop.
   EXPECT_EQ(verdictIn(R, *M, "main"), LoopVerdict::Unknown);
+}
+
+TEST(StaticDependence, PureRecursiveCalleeKeepsLoopDoall) {
+  // fib sits on a call-graph cycle; the SCC fixpoint still saturates to a
+  // pure summary, so the tabulation loop gets a real doall verdict.
+  std::unique_ptr<Module> M = compileOrDie(
+      "int r[16];"
+      "int fib(int n) {"
+      " if (n < 2) { return n; }"
+      " return fib(n - 1) + fib(n - 2); }"
+      "int main() {"
+      " for (int i = 0; i < 16; i = i + 1) { r[i] = fib(i); }"
+      " return r[0]; }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(verdictIn(R, *M, "main"), LoopVerdict::ProvablyDoall);
+  const ModRefSummary *S = R.ModRef.of(M->findFunction("fib"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->Recursive);
+  EXPECT_TRUE(S->isPure());
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].Callees, std::vector<std::string>{"fib"});
+  EXPECT_EQ(R.Loops[0].CallSites, 1u);
+  EXPECT_EQ(R.Loops[0].CallsSummarized, 1u);
+}
+
+TEST(StaticDependence, CalleeWritingDisjointGlobalKeepsLoopDoall) {
+  // touch() only writes b[]; nothing in the loop (or the callee) reads
+  // b[], and a write-write dependence is breakable, so the loop is doall.
+  std::unique_ptr<Module> M = compileOrDie(
+      "int a[8]; int b[8];"
+      "void touch() { b[0] = 7; }"
+      "int main() {"
+      " for (int i = 0; i < 8; i = i + 1) { a[i] = i; touch(); }"
+      " return a[0]; }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(verdictIn(R, *M, "main"), LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, ParamWritesResolveToCallSiteArguments) {
+  // put() writes through its array parameter. Passing b keeps the loop
+  // independent; passing a makes the callee write may-alias the loop's
+  // own a[i] load, which the tests cannot refute.
+  std::unique_ptr<Module> M = compileOrDie(
+      "int a[8]; int b[8]; int s[8]; int t[8];"
+      "void put(int p[], int v) { p[0] = v; }"
+      "int safe() {"
+      " for (int i = 0; i < 8; i = i + 1) { s[i] = a[i]; put(b, i); }"
+      " return s[0]; }"
+      "int clobbers() {"
+      " for (int i = 0; i < 8; i = i + 1) { t[i] = a[i]; put(a, i); }"
+      " return t[0]; }"
+      "int main() { return safe() + clobbers(); }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(verdictIn(R, *M, "safe"), LoopVerdict::ProvablyDoall);
+  EXPECT_EQ(verdictIn(R, *M, "clobbers"), LoopVerdict::Unknown);
+  const ModRefSummary *S = R.ModRef.of(M->findFunction("put"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->writesParam(0));
+  EXPECT_FALSE(S->readsParam(0));
+}
+
+TEST(StaticDependence, OpaqueCalleesAllNamedSortedInReason) {
+  // Hand-built IR: each callee stores through a register with two
+  // definitions, which the root resolver cannot attribute — Opaque. The
+  // loop's reason must name every distinct callee, sorted and deduped.
+  Module M;
+  GlobalArray G;
+  G.Name = "g";
+  G.SizeWords = 4;
+  GlobalId GId = M.addGlobal(std::move(G));
+  auto MakeOpaque = [&](const char *Name) {
+    Function F;
+    F.Name = Name;
+    F.ReturnTy = Type::Int;
+    FuncId Id = M.addFunction(std::move(F));
+    IRBuilder B(M, M.Functions[Id]);
+    BlockId B0 = B.createBlock("entry");
+    BlockId B1 = B.createBlock("then");
+    BlockId B2 = B.createBlock("else");
+    BlockId B3 = B.createBlock("join");
+    B.setInsertPoint(B0);
+    ValueId Addr = B.emitGlobalAddr(GId);
+    B.emitCondBr(B.emitConstInt(1), B1, B2);
+    B.setInsertPoint(B1);
+    B.emitMove(Type::Int, B.emitGlobalAddr(GId), Addr);
+    B.emitBr(B3);
+    B.setInsertPoint(B2);
+    B.emitMove(Type::Int, B.emitGlobalAddr(GId), Addr);
+    B.emitBr(B3);
+    B.setInsertPoint(B3);
+    B.emitStore(Addr, B.emitConstInt(1));
+    B.emitRet(B.emitConstInt(0));
+    return Id;
+  };
+  FuncId Zeta = MakeOpaque("zeta");
+  FuncId Alpha = MakeOpaque("alpha");
+  Function F;
+  F.Name = "caller";
+  F.ReturnTy = Type::Int;
+  FuncId Id = M.addFunction(std::move(F));
+  IRBuilder B(M, M.Functions[Id]);
+  BlockId Entry = B.createBlock("entry");
+  BlockId Header = B.createBlock("header");
+  BlockId Body = B.createBlock("body");
+  BlockId Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  ValueId I = B.emitMove(Type::Int, B.emitConstInt(0));
+  B.emitBr(Header);
+  B.setInsertPoint(Header);
+  ValueId Cond =
+      B.emitBinary(Opcode::CmpLT, Type::Int, I, B.emitConstInt(8));
+  B.emitCondBr(Cond, Body, Exit);
+  B.setInsertPoint(Body);
+  // zeta twice (dedup) and alpha once, in reverse-alphabetical call order
+  // (sorting must still put alpha first).
+  B.emitCall(Zeta, Type::Int, {});
+  B.emitCall(Alpha, Type::Int, {});
+  B.emitCall(Zeta, Type::Int, {});
+  B.emitMove(Type::Int, B.emitBinary(Opcode::Add, Type::Int, I,
+                                     B.emitConstInt(1)),
+             I);
+  B.emitBr(Header);
+  B.setInsertPoint(Exit);
+  B.emitRet(B.emitConstInt(0));
+  StaticAnalysisResult R = analyzeModuleDependence(M);
+  ASSERT_EQ(R.Loops.size(), 1u);
+  const StaticLoopResult &L = R.Loops.front();
+  EXPECT_EQ(L.Verdict, LoopVerdict::Unknown);
+  EXPECT_EQ(L.Callees, (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_NE(L.Reason.find("calls alpha(), zeta()"), std::string::npos)
+      << L.Reason;
+  EXPECT_EQ(L.CallSites, 3u);
+  EXPECT_EQ(L.CallsSummarized, 0u);
+}
+
+TEST(StaticDependence, GcdProvesInterleavedStridesIndependent) {
+  // Store subscript 4i+1 is odd, load subscript 2i is even:
+  // gcd(4,2) = 2 does not divide 1, so the cells never coincide.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[70];"
+      "int main() {"
+      " for (int i = 0; i < 16; i = i + 1) { a[4 * i + 1] = a[2 * i] + 1; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, BanerjeeBoundsProveDisjointRangesIndependent) {
+  // Store range [50,59] and load range [0,18] cannot meet; the GCD test
+  // is inconclusive (gcd(1,2) = 1) but the Banerjee bounds over the
+  // trip-counted iteration space refute every solution.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[64];"
+      "int main() {"
+      " for (int i = 0; i < 10; i = i + 1) { a[i + 50] = a[2 * i] + 1; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, BanerjeeDirectionRefinementBreaksAntiOnlyPairs) {
+  // 2*i1 == i2 + 4 has solutions, but only with i1 >= i2: the later
+  // iteration writes what an *earlier* one read (anti — breakable by
+  // pre-copying), or the same iteration (loop-independent). No carried
+  // flow, so the '<'-direction Banerjee window proves the loop doall.
+  StaticLoopResult L = analyzeSingleLoop(
+      "int a[16];"
+      "int main() {"
+      " for (int i = 0; i < 5; i = i + 1) { a[2 * i] = a[i + 4] + 1; }"
+      " return a[0]; }");
+  EXPECT_EQ(L.Verdict, LoopVerdict::ProvablyDoall);
+}
+
+TEST(StaticDependence, CrossStrideWithoutTripCountIsUnknown) {
+  // Banerjee needs iteration bounds; a symbolic loop bound leaves the
+  // cross-stride pair undecided.
+  std::unique_ptr<Module> M = compileOrDie(
+      "int a[64];"
+      "int f(int n) {"
+      " for (int i = 0; i < n; i = i + 1) { a[2 * i] = a[i + 4] + 1; }"
+      " return a[0]; }"
+      "int main() { return f(5); }");
+  instrumentModule(*M);
+  StaticAnalysisResult R = analyzeModuleDependence(*M);
+  EXPECT_EQ(verdictIn(R, *M, "f"), LoopVerdict::Unknown);
 }
 
 TEST(StaticDependence, ZivDistinctCellsAreDoall) {
@@ -294,7 +527,8 @@ TEST(StaticDependence, VerdictCountsAndRegionMap) {
   EXPECT_EQ(R.Loops.size(), 2u);
   EXPECT_EQ(R.NumSerial, 1u);
   EXPECT_EQ(R.NumDoall, 1u);
-  EXPECT_EQ(R.NumDoall + R.NumSerial + R.NumUnknown, R.Loops.size());
+  EXPECT_EQ(R.NumDoall + R.NumReduction + R.NumSerial + R.NumUnknown,
+            R.Loops.size());
   // Every loop lowered from source carries its Loop region, and the
   // planner-facing map covers exactly those.
   EXPECT_EQ(R.verdictMap().size(), 2u);
