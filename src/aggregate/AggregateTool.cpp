@@ -11,11 +11,17 @@
 #include "support/Http.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <map>
 #include <memory>
+#include <thread>
 
 #include <csignal>
 #include <pthread.h>
@@ -67,10 +73,17 @@ void printServeUsage() {
       "  --max-queue=<n>        bound on pending requests; beyond it the\n"
       "                         server sheds with 503 + Retry-After\n"
       "                         (default 0 = unbounded)\n"
+      "  --access-log=<path>    JSON-lines access log: one line per\n"
+      "                         request (trace id, status, latency, dedup\n"
+      "                         outcome) through a bounded buffered sink\n"
+      "  --trace-out=<path>     stream server-side request spans as Chrome\n"
+      "                         trace JSON (same trace ids the pushing\n"
+      "                         clients stamp their attempts with)\n"
       "endpoints: POST /ingest (kremlin-trace body),\n"
       "           GET /profile?format=speedscope|tree|plan|collapsed|"
       "timeline,\n"
-      "           GET /metrics, GET /healthz\n"
+      "           GET /metrics[?format=table|json|prometheus],\n"
+      "           GET /healthz (JSON status)\n"
       "Stop with SIGINT/SIGTERM; in-flight requests drain first.\n");
 }
 
@@ -83,11 +96,25 @@ void printPushUsage() {
       "                         attempt (default 5)\n"
       "  --timeout-ms=<n>       per-attempt socket deadline (default\n"
       "                         10000; 0 = none)\n"
+      "  --trace-out=<path>     stream client attempt spans as Chrome\n"
+      "                         trace JSON; every attempt carries the\n"
+      "                         push's trace id in a traceparent header\n"
       "Uploads each profile to POST /ingest with capped jittered\n"
       "exponential backoff on transient failures (connect errors,\n"
       "408/429/5xx), honoring the server's Retry-After hints. Every\n"
       "upload carries a content-hash Idempotency-Key, so a retried\n"
       "upload whose ack was lost is acknowledged without double-merging.\n");
+}
+
+void printTopUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kremlin top --url=http://<ipv4>[:port] [options]\n"
+      "  --url=<url>            the `kremlin serve` endpoint (required)\n"
+      "  --interval-ms=<n>      poll interval (default 2000)\n"
+      "  --once                 print one snapshot and exit (CI-friendly)\n"
+      "Polls GET /metrics?format=json and renders request rates, queue\n"
+      "depth, and per-endpoint latency (p50/p99) deltas between polls.\n");
 }
 
 /// Parses --max-profile-mb= into a byte budget.
@@ -242,6 +269,7 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
   http::ServerOptions ServerOpts;
   ServiceOptions SvcOpts;
   std::vector<std::string> LoadPaths;
+  std::string TraceOutPath;
 
   for (const std::string &Arg : Args) {
     auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
@@ -265,6 +293,10 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
     } else if (Arg.rfind("--max-queue=", 0) == 0) {
       SvcOpts.MaxQueue =
           static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--access-log=", 0) == 0) {
+      SvcOpts.AccessLogPath = Value();
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOutPath = Value();
     } else if (Arg == "--help" || Arg == "-h") {
       printServeUsage();
       return 0;
@@ -277,6 +309,17 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
   }
   if (SvcOpts.MaxIngestBytes)
     ServerOpts.MaxBodyBytes = SvcOpts.MaxIngestBytes;
+
+  if (!TraceOutPath.empty()) {
+    Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+        tel::FileTraceSink::open(TraceOutPath);
+    if (!Sink.ok()) {
+      tel::logError("serve", Sink.status().toString());
+      return 1;
+    }
+    if (Status St = tel::setTraceSink(Sink.takeValue()); !St.ok())
+      tel::logError("serve", St.toString());
+  }
 
   Expected<std::unique_ptr<ProfileService>> Service =
       ProfileService::create(SvcOpts);
@@ -347,12 +390,19 @@ int aggregate::serveMain(const std::vector<std::string> &Args) {
               static_cast<unsigned long long>(
                   tel::Registry::global().counter("serve.requests").value()),
               static_cast<unsigned long long>(Svc.ingestCount()));
+  if (!TraceOutPath.empty()) {
+    if (Status St = tel::closeTraceSink(); !St.ok()) {
+      tel::logError("serve", St.toString());
+      return 1;
+    }
+    std::printf("kremlin serve: trace written to %s\n", TraceOutPath.c_str());
+  }
   return 0;
 }
 
 int aggregate::pushMain(const std::vector<std::string> &Args) {
   std::vector<std::string> Inputs;
-  std::string Url;
+  std::string Url, TraceOutPath;
   PushOptions Opts;
 
   for (const std::string &Arg : Args) {
@@ -365,6 +415,8 @@ int aggregate::pushMain(const std::vector<std::string> &Args) {
     } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
       Opts.TimeoutMs =
           static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOutPath = Value();
     } else if (Arg == "--help" || Arg == "-h") {
       printPushUsage();
       return 0;
@@ -388,18 +440,195 @@ int aggregate::pushMain(const std::vector<std::string> &Args) {
   }
   Opts.Endpoint = Endpoint.takeValue();
 
+  if (!TraceOutPath.empty()) {
+    Expected<std::unique_ptr<tel::FileTraceSink>> Sink =
+        tel::FileTraceSink::open(TraceOutPath);
+    if (!Sink.ok()) {
+      tel::logError("push", Sink.status().toString());
+      return 1;
+    }
+    if (Status St = tel::setTraceSink(Sink.takeValue()); !St.ok())
+      tel::logError("push", St.toString());
+  }
+
+  int Exit = 0;
   for (const std::string &Path : Inputs) {
     Expected<PushOutcome> Out = pushProfileFile(Path, Opts);
     if (!Out.ok()) {
       tel::logError("push", Out.status().toString());
-      return 1;
+      Exit = 1;
+      break;
     }
     std::printf("pushed %s as '%s' in %u attempt(s)%s (server total: %llu "
-                "ingest(s))\n",
+                "ingest(s), trace %s)\n",
                 Path.c_str(), Out.value().Name.c_str(),
                 Out.value().Attempts,
                 Out.value().Deduplicated ? " [deduplicated]" : "",
-                static_cast<unsigned long long>(Out.value().Ingested));
+                static_cast<unsigned long long>(Out.value().Ingested),
+                Out.value().TraceId.c_str());
   }
-  return 0;
+  if (!TraceOutPath.empty()) {
+    if (Status St = tel::closeTraceSink(); !St.ok()) {
+      tel::logError("push", St.toString());
+      return 1;
+    }
+    std::printf("push trace written to %s\n", TraceOutPath.c_str());
+  }
+  return Exit;
+}
+
+namespace {
+
+/// One /metrics?format=json poll flattened into name -> value (JSON null,
+/// the empty-histogram quantile encoding, becomes NaN).
+Expected<std::map<std::string, double>>
+scrapeMetrics(const PushEndpoint &Endpoint) {
+  Expected<http::ClientResponse> Resp =
+      http::request(Endpoint.Host, Endpoint.Port, "GET",
+                    "/metrics?format=json", "", "", {}, 5000);
+  if (!Resp.ok())
+    return Resp.status();
+  if (Resp.value().Code != 200)
+    return Status::error(ErrorCode::ExecutionError,
+                         formatString("GET /metrics: HTTP %d",
+                                      Resp.value().Code))
+        .withStage("top");
+  JsonValue Doc;
+  std::string Error;
+  if (!JsonValue::parse(Resp.value().Body, Doc, &Error))
+    return Status::error(ErrorCode::DecodeError,
+                         "malformed /metrics JSON: " + Error)
+        .withStage("top");
+  const JsonValue *Metrics = Doc.get("metrics");
+  if (!Metrics)
+    return Status::error(ErrorCode::DecodeError,
+                         "/metrics JSON has no \"metrics\" object")
+        .withStage("top");
+  std::map<std::string, double> Out;
+  for (const auto &[Name, Value] : Metrics->members())
+    Out[Name] = Value.isNull() ? std::numeric_limits<double>::quiet_NaN()
+                               : Value.asNumber();
+  return Out;
+}
+
+/// Renders one `kremlin top` frame: headline gauges plus a per-endpoint
+/// latency table with rates derived from the previous poll.
+std::string renderTopFrame(const std::map<std::string, double> &Cur,
+                           const std::map<std::string, double> &Prev,
+                           double DtSec) {
+  auto Get = [&Cur](const std::string &Name) {
+    auto It = Cur.find(Name);
+    return It == Cur.end() ? 0.0 : It->second;
+  };
+  auto Rate = [&Prev, DtSec](const std::string &Name, double CurValue) {
+    auto It = Prev.find(Name);
+    if (It == Prev.end() || DtSec <= 0)
+      return std::numeric_limits<double>::quiet_NaN();
+    return (CurValue - It->second) / DtSec;
+  };
+  auto FmtMs = [](double Us) {
+    return std::isnan(Us) ? std::string("n/a")
+                          : formatString("%.2f", Us / 1000.0);
+  };
+
+  double Requests = Get("serve.requests");
+  double ReqRate = Rate("serve.requests", Requests);
+  std::string Out = formatString(
+      "kremlin top: %llu request(s), %llu ingest(s), queue depth %.0f, "
+      "uptime %.1fs\n",
+      static_cast<unsigned long long>(Requests),
+      static_cast<unsigned long long>(Get("serve.ingests")),
+      Get("serve.queue_depth"), Get("serve.uptime_seconds"));
+  Out += std::isnan(ReqRate)
+             ? "rate: n/a (first poll)\n"
+             : formatString("rate: %.1f req/s, shed %.0f, errors %.0f, "
+                            "timeouts %.0f\n",
+                            ReqRate, Get("serve.shed"), Get("serve.errors"),
+                            Get("serve.timeouts"));
+  Out += formatString("queue wait: p50 %s ms, p99 %s ms\n",
+                      FmtMs(Get("serve.queue_wait_us.p50")).c_str(),
+                      FmtMs(Get("serve.queue_wait_us.p99")).c_str());
+
+  TablePrinter Table;
+  Table.setHeader({"endpoint", "count", "rate/s", "p50 ms", "p99 ms"});
+  const std::string Prefix = "serve.latency.";
+  for (const auto &[Name, Value] : Cur) {
+    if (Name.rfind(Prefix, 0) != 0)
+      continue;
+    const std::string Suffix = ".count";
+    if (Name.size() < Suffix.size() ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix))
+      continue;
+    std::string Base = Name.substr(0, Name.size() - Suffix.size());
+    std::string Label = Base.substr(Prefix.size());
+    double CountRate = Rate(Name, Value);
+    Table.addRow({Label, formatString("%.0f", Value),
+                  std::isnan(CountRate) ? "n/a"
+                                        : formatString("%.1f", CountRate),
+                  FmtMs(Get(Base + ".p50")), FmtMs(Get(Base + ".p99"))});
+  }
+  if (Table.numRows() == 0)
+    return Out + "(no per-endpoint latency samples yet)\n";
+  return Out + Table.render();
+}
+
+} // namespace
+
+int aggregate::topMain(const std::vector<std::string> &Args) {
+  std::string Url;
+  unsigned IntervalMs = 2000;
+  bool Once = false;
+
+  for (const std::string &Arg : Args) {
+    auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
+    if (Arg.rfind("--url=", 0) == 0) {
+      Url = Value();
+    } else if (Arg.rfind("--interval-ms=", 0) == 0) {
+      IntervalMs =
+          static_cast<unsigned>(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg == "--once") {
+      Once = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printTopUsage();
+      return 0;
+    } else {
+      tel::logf(tel::LogLevel::Error, "top", "unknown option '%s'",
+                Arg.c_str());
+      printTopUsage();
+      return 1;
+    }
+  }
+  if (Url.empty()) {
+    printTopUsage();
+    return 1;
+  }
+  Expected<PushEndpoint> Endpoint = parsePushUrl(Url);
+  if (!Endpoint.ok()) {
+    tel::logError("top", Endpoint.status().toString());
+    return 1;
+  }
+
+  std::map<std::string, double> Prev;
+  uint64_t PrevPollUs = 0;
+  for (;;) {
+    Expected<std::map<std::string, double>> Cur =
+        scrapeMetrics(Endpoint.value());
+    if (!Cur.ok()) {
+      tel::logError("top", Cur.status().toString());
+      return 1;
+    }
+    uint64_t PollUs = tel::nowUs();
+    double DtSec =
+        PrevPollUs ? static_cast<double>(PollUs - PrevPollUs) / 1e6 : 0.0;
+    if (!Once)
+      std::printf("\033[2J\033[H"); // Clear screen + home, live-view style.
+    std::fputs(renderTopFrame(Cur.value(), Prev, DtSec).c_str(), stdout);
+    std::fflush(stdout);
+    if (Once)
+      return 0;
+    Prev = std::move(Cur.value());
+    PrevPollUs = PollUs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        IntervalMs == 0 ? 100 : IntervalMs));
+  }
 }

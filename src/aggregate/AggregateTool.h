@@ -11,6 +11,7 @@
 ///   kremlin diff  <a.prof> <b.prof>
 ///   kremlin serve --port=<n> [--store=<dir>] [--load=<p.prof,...>]
 ///   kremlin push  <a.prof>... --url=http://host:port
+///   kremlin top   --url=http://host:port [--interval-ms=<n>] [--once]
 ///
 /// Each main takes argv minus the program and subcommand words, mirroring
 /// report::reportMain.
@@ -37,6 +38,9 @@ int serveMain(const std::vector<std::string> &Args);
 
 /// `kremlin push`: retrying profile upload to a serve endpoint.
 int pushMain(const std::vector<std::string> &Args);
+
+/// `kremlin top`: live terminal view of a serve endpoint's /metrics.
+int topMain(const std::vector<std::string> &Args);
 
 } // namespace aggregate
 } // namespace kremlin

@@ -22,9 +22,27 @@ static tel::Counter &counter(const char *Name) {
   return tel::Registry::global().counter(Name);
 }
 
+/// Records one sample into the per-(endpoint, status-class) latency
+/// histogram. Every request records into exactly one, so
+/// sum(serve.latency.*.count) == serve.requests stays exact.
+static void recordLatency(const std::string &Endpoint, int Code,
+                          uint64_t Us) {
+  const char *Class = Code >= 500 ? "5xx" : Code >= 400 ? "4xx" : "2xx";
+  tel::Registry::global()
+      .histogram("serve.latency." + Endpoint + "." + Class)
+      .record(Us);
+}
+
 Expected<std::unique_ptr<ProfileService>>
 ProfileService::create(const ServiceOptions &Opts) {
   std::unique_ptr<ProfileService> S(new ProfileService(Opts));
+  if (!Opts.AccessLogPath.empty()) {
+    Expected<std::unique_ptr<AccessLog>> Log =
+        AccessLog::open(Opts.AccessLogPath);
+    if (!Log.ok())
+      return Log.status();
+    S->Log = Log.takeValue();
+  }
   if (!Opts.StoreDir.empty()) {
     Expected<ProfileStore> Store = ProfileStore::open(Opts.StoreDir);
     if (!Store.ok())
@@ -60,12 +78,17 @@ Status ProfileService::ingest(const DictionaryCompressor &Dict,
   // Durable write first: if it fails, nothing merged, and the client's
   // retry (same key, not yet recorded) re-attempts cleanly.
   if (Store && !Name.empty()) {
+    tel::Span WriteSpan("serve.store.write", "serve");
+    WriteSpan.arg("name", Name);
     TraceMeta Meta;
     Meta.Source = Source;
     if (Status St = Store->add(Name, Dict, Meta); !St.ok())
       return St;
   }
-  mergeInto(Merged, Dict);
+  {
+    tel::Span MergeSpan("serve.merge", "serve");
+    mergeInto(Merged, Dict);
+  }
   ++Ingested;
   ++Generation;
   if (!IdemKey.empty()) {
@@ -84,9 +107,13 @@ bool ProfileService::admit() {
   if (Opts.MaxQueue && Now > Opts.MaxQueue) {
     Pending.fetch_sub(1, std::memory_order_relaxed);
     // The shed connection never reaches handle(): account it here so the
-    // counter equation covers shed requests too.
+    // counter equation covers shed requests too. The per-request latency
+    // invariants get zero-valued samples — the request was refused before
+    // it waited or ran.
     counter("serve.requests").add();
     counter("serve.shed").add();
+    tel::Registry::global().histogram("serve.queue_wait_us").record(0);
+    recordLatency("shed", 503, 0);
     return false;
   }
   return true;
@@ -99,6 +126,10 @@ void ProfileService::release() {
 void ProfileService::noteTimeout() {
   counter("serve.requests").add();
   counter("serve.timeouts").add();
+  // The request never finished arriving; keep the per-request histogram
+  // invariants exact with zero-valued samples.
+  tel::Registry::global().histogram("serve.queue_wait_us").record(0);
+  recordLatency("timeout", 408, 0);
 }
 
 Response ProfileService::shedResponse() {
@@ -116,7 +147,8 @@ uint64_t ProfileService::generation() const {
   return Generation;
 }
 
-Response ProfileService::handleIngest(const Request &Req) {
+Response ProfileService::handleIngest(const Request &Req,
+                                      std::string &Dedup) {
   if (Req.Method != "POST")
     return Response::text(405, "POST a kremlin-trace body to /ingest\n");
   if (Opts.MaxIngestBytes && Req.Body.size() > Opts.MaxIngestBytes) {
@@ -141,6 +173,8 @@ Response ProfileService::handleIngest(const Request &Req) {
                          Key ? *Key : "", &Deduplicated);
       !St.ok())
     return Response::text(500, St.toString() + "\n");
+  if (Key)
+    Dedup = Deduplicated ? "deduplicated" : "merged";
 
   counter("serve.ingests").add();
   JsonValue Reply = JsonValue::makeObject();
@@ -178,6 +212,8 @@ Expected<std::string> ProfileService::viewBody(const std::string &Key,
                          "no profiles ingested yet")
         .withStage("serve-view");
 
+  tel::Span RenderSpan("serve.view.render", "serve");
+  RenderSpan.arg("format", Format);
   Module M = syntheticModule(Merged);
   ParallelismProfile P(M, Merged);
   report::RegionTree Tree = report::buildRegionTree(P);
@@ -229,21 +265,80 @@ Response ProfileService::handleProfile(const Request &Req) {
                 : Response::text(200, Body.takeValue());
 }
 
+Response ProfileService::handleMetrics(const Request &Req, uint64_t StartUs,
+                                       const std::string &Endpoint,
+                                       bool &LatencyRecorded) {
+  std::string Format = Req.query("format", "table");
+  if (Format != "table" && Format != "json" && Format != "prometheus")
+    return Response::text(400, "unknown metrics format '" + Format +
+                                   "' (table|json|prometheus)\n");
+  counter("serve.metrics").add();
+  // This request's own latency goes into the registry before rendering,
+  // so the snapshot the client receives already satisfies
+  // sum(serve.latency.*.count) == serve.requests.
+  recordLatency(Endpoint, 200, tel::nowUs() - StartUs);
+  LatencyRecorded = true;
+  tel::Registry &Reg = tel::Registry::global();
+  if (Format == "prometheus")
+    return Response::text(200, Reg.renderPrometheus());
+  if (Format == "json")
+    return Response::json(200, Reg.toJson().serialize(2) + "\n");
+  return Response::text(200, Reg.renderTable());
+}
+
+Response ProfileService::healthzBody() const {
+  JsonValue H = JsonValue::makeObject();
+  H.set("status", std::string("ok"));
+  H.set("uptime_seconds", static_cast<double>(tel::nowUs()) / 1e6);
+  H.set("generation", generation());
+  H.set("profiles", ingestCount());
+  H.set("schema", TraceSchemaVersion);
+  return Response::json(200, H.serialize() + "\n");
+}
+
 Response ProfileService::handle(const Request &Req) {
   // serve.requests first, and /metrics bumps its category before
   // rendering: a /metrics response then shows itself fully accounted, so
   // a quiesced client can assert the accounting equation on the body it
   // just received.
   counter("serve.requests").add();
+  const uint64_t StartUs = tel::nowUs();
+
+  // The request runs under its propagated (or freshly minted) trace
+  // context: the serve.request span and every child span recorded below
+  // carry the same trace id the client's attempt spans do.
+  tel::TraceContext Ctx = http::requestTraceContext(Req);
+  tel::ScopedTraceContext TraceScope(Ctx);
+  tel::Span ReqSpan("serve.request", "serve");
+  ReqSpan.arg("method", Req.Method);
+  ReqSpan.arg("path", Req.Path);
+  if (!Ctx.SpanId.empty())
+    ReqSpan.arg("parent_span", Ctx.SpanId);
+
+  // Per-request accounting recorded up front: one queue-wait sample per
+  // request, plus the live queue-depth and uptime gauges.
+  tel::Registry &Reg = tel::Registry::global();
+  Reg.histogram("serve.queue_wait_us").record(Req.QueueWaitUs);
+  Reg.gauge("serve.queue_depth").set(static_cast<double>(pendingCount()));
+  Reg.gauge("serve.uptime_seconds").set(static_cast<double>(StartUs) / 1e6);
+  if (Req.QueueWaitUs)
+    tel::recordSpanAt("serve.queue_wait", "serve",
+                      StartUs - Req.QueueWaitUs, Req.QueueWaitUs);
+
+  std::string Endpoint = "other";
+  std::string Dedup = "none";
+  bool LatencyRecorded = false;
   Response Resp;
   bool Shed = false;
   if (Req.Path == "/healthz") {
+    Endpoint = "healthz";
     counter("serve.healthz").add();
-    Resp = Response::text(200, "ok\n");
+    Resp = healthzBody();
   } else if (Req.Path == "/metrics") {
-    counter("serve.metrics").add();
-    Resp = Response::text(200, tel::Registry::global().renderTable());
+    Endpoint = "metrics";
+    Resp = handleMetrics(Req, StartUs, Endpoint, LatencyRecorded);
   } else if (Req.Path == "/ingest" || Req.Path == "/profile") {
+    Endpoint = Req.Path == "/ingest" ? "ingest" : "profile";
     // The shed drill covers only the work endpoints: health and metrics
     // stay observable under (simulated) overload, exactly as the real
     // admission path keeps them cheap.
@@ -252,7 +347,8 @@ Response ProfileService::handle(const Request &Req) {
       counter("serve.shed").add();
       Resp = shedResponse();
     } else {
-      Resp = Req.Path == "/ingest" ? handleIngest(Req) : handleProfile(Req);
+      Resp = Req.Path == "/ingest" ? handleIngest(Req, Dedup)
+                                   : handleProfile(Req);
     }
   } else {
     Resp = Response::text(
@@ -266,5 +362,22 @@ Response ProfileService::handle(const Request &Req) {
   if (!Shed && Resp.Code >= 400)
     counter("serve.errors").add();
   counter("serve.bytes_out").add(Resp.Body.size());
+  if (!LatencyRecorded)
+    recordLatency(Endpoint, Resp.Code, tel::nowUs() - StartUs);
+  ReqSpan.arg("status", std::to_string(Resp.Code));
+
+  if (Log) {
+    AccessLogEntry E;
+    E.TraceId = Ctx.TraceId;
+    E.Method = Req.Method;
+    E.Path = Req.Path;
+    E.Status = Resp.Code;
+    E.BytesIn = Req.Body.size();
+    E.BytesOut = Resp.Body.size();
+    E.QueueWaitUs = Req.QueueWaitUs;
+    E.HandlerUs = tel::nowUs() - StartUs;
+    E.Dedup = Dedup;
+    Log->append(E);
+  }
   return Resp;
 }

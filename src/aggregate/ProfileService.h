@@ -15,8 +15,10 @@
 ///   GET  /profile?format=     speedscope | tree | plan | collapsed |
 ///                             timeline view of the merged profile
 ///                             (&personality= for plan).
-///   GET  /metrics             telemetry registry as an aligned table.
-///   GET  /healthz             "ok".
+///   GET  /metrics?format=     table (default) | json | prometheus view of
+///                             the telemetry registry.
+///   GET  /healthz             JSON status (uptime seconds, store
+///                             generation, profile count, schema version).
 ///
 /// Idempotent ingest: an upload carrying an `Idempotency-Key` header is
 /// merged at most once — a retried upload whose first attempt actually
@@ -46,6 +48,21 @@
 /// always holds — the soak test asserts it under 32-way concurrency, with
 /// and without shedding.
 ///
+/// Observability: every request runs under a trace context (adopted from
+/// the client's traceparent header or freshly minted) inside a
+/// `serve.request` span, with queue wait, merge, store write, and view
+/// render as child spans sharing the trace id. Per-request accounting
+/// extends the equation: each request records exactly one sample into
+/// serve.queue_wait_us and exactly one into one
+/// serve.latency.<endpoint>.<class> histogram (admission sheds and
+/// transport 408s record zero-valued samples), so
+///   serve.queue_wait_us.count == serve.requests
+///   sum(serve.latency.*.count) == serve.requests
+/// also hold exactly — even on the snapshot a /metrics response returns,
+/// which records its own latency before rendering. An optional JSON-lines
+/// access log (Opts.AccessLogPath) gets one line per handled request
+/// through a bounded buffered sink that never blocks the handler.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KREMLIN_AGGREGATE_PROFILESERVICE_H
@@ -53,6 +70,7 @@
 
 #include "aggregate/ProfileStore.h"
 #include "compress/Dictionary.h"
+#include "support/AccessLog.h"
 #include "support/Http.h"
 #include "support/Status.h"
 
@@ -86,6 +104,9 @@ struct ServiceOptions {
   /// Recent Idempotency-Key values remembered for ingest dedup (FIFO
   /// eviction beyond this).
   size_t MaxIdempotencyKeys = 1024;
+  /// When non-empty, append one JSON line per handled request here
+  /// (--access-log=).
+  std::string AccessLogPath;
 };
 
 /// The handler. Thread-safe; one instance serves all connections.
@@ -135,8 +156,14 @@ public:
 private:
   explicit ProfileService(ServiceOptions Opts) : Opts(std::move(Opts)) {}
 
-  http::Response handleIngest(const http::Request &Req);
+  /// \p Dedup reports the idempotency outcome for the access log:
+  /// "none" (no key), "merged", or "deduplicated".
+  http::Response handleIngest(const http::Request &Req, std::string &Dedup);
   http::Response handleProfile(const http::Request &Req);
+  http::Response handleMetrics(const http::Request &Req, uint64_t StartUs,
+                               const std::string &Endpoint,
+                               bool &LatencyRecorded);
+  http::Response healthzBody() const;
 
   /// Returns the cached view body for \p Key, rebuilding under the
   /// exclusive lock on generation mismatch. \p CacheHit reports which
@@ -161,6 +188,8 @@ private:
   /// eviction). Guarded by Mutex.
   std::set<std::string> SeenKeys;
   std::deque<std::string> KeyOrder;
+  /// JSON-lines access log (nullptr when not configured). Thread-safe.
+  std::unique_ptr<AccessLog> Log;
 };
 
 } // namespace aggregate

@@ -81,6 +81,12 @@ Expected<PushOutcome> aggregate::pushProfileFile(const std::string &Path,
   Out.Key = pushIdempotencyKey(Body);
   std::string Target = "/ingest?name=" + Out.Name;
 
+  // One trace id for the whole push; each attempt gets a fresh span id so
+  // the server can tell retries apart while the trace id ties them together.
+  tel::TraceContext Trace = tel::mintTraceContext();
+  Out.TraceId = Trace.TraceId;
+  tel::ScopedTraceContext TraceScope(Trace);
+
   Backoff Delays(Opts.Retry);
   unsigned RetryAfterSec = 0;
   Status Last = Status::success();
@@ -95,17 +101,26 @@ Expected<PushOutcome> aggregate::pushProfileFile(const std::string &Path,
       tel::Registry::global().counter("push.retries").add();
     ++Out.Attempts;
 
+    tel::TraceContext AttemptCtx{Trace.TraceId, tel::mintSpanId()};
+    tel::Span AttemptSpan("push.attempt", "push");
+    AttemptSpan.arg("attempt", std::to_string(Out.Attempts));
+    AttemptSpan.arg("span_id", AttemptCtx.SpanId);
+
     Expected<http::ClientResponse> Resp = http::request(
         Opts.Endpoint.Host, Opts.Endpoint.Port, "POST", Target, Body,
-        "text/plain; charset=utf-8", {{"Idempotency-Key", Out.Key}},
+        "text/plain; charset=utf-8",
+        {{"Idempotency-Key", Out.Key},
+         {"traceparent", tel::formatTraceparent(AttemptCtx)}},
         Opts.TimeoutMs);
     if (!Resp.ok()) {
       // Transport failure (refused, reset, socket deadline): transient.
+      AttemptSpan.arg("status", "transport-error");
       Last = Resp.status();
       RetryAfterSec = 0;
       continue;
     }
     const http::ClientResponse &R = Resp.value();
+    AttemptSpan.arg("status", std::to_string(R.Code));
     if (R.Code == 200) {
       JsonValue Reply;
       if (JsonValue::parse(R.Body, Reply)) {

@@ -60,6 +60,10 @@ struct PushOutcome {
   uint64_t Ingested = 0;    ///< Server-reported total ingest count.
   std::string Name;         ///< Store name the profile was pushed under.
   std::string Key;          ///< Idempotency key sent.
+  /// Trace id (32 hex chars) minted once per push and sent on every
+  /// attempt's `traceparent` header — the one id that stitches client
+  /// retries and server-side handling together in exported traces.
+  std::string TraceId;
 };
 
 /// Derives the content-hash idempotency key for \p Body.

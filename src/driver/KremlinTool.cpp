@@ -61,7 +61,7 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: kremlin [stats|lint|report|merge|diff|serve|push] "
+      "usage: kremlin [stats|lint|report|merge|diff|serve|push|top] "
       "(<source.c> | --bench=<name> | --tracking) [options]\n"
       "  --personality=<openmp|cilk|work|selfp>   planner personality\n"
       "  --exclude=<id,id,...>                    exclude region ids, replan\n"
@@ -110,11 +110,12 @@ void printUsage() {
       "The `report` subcommand exports the profiled region tree as a\n"
       "flamegraph (speedscope/collapsed), per-region timeline JSON, or\n"
       "terminal tree; see `kremlin report --help`.\n"
-      "The `merge`, `diff`, `serve`, and `push` subcommands aggregate\n"
-      "saved profiles fleet-wide: merge unions compressed traces, diff\n"
-      "prints per-region deltas, serve exposes ingest/report HTTP\n"
-      "endpoints, push uploads profiles to a serve endpoint with retries\n"
-      "and idempotency keys; see each subcommand's --help.\n"
+      "The `merge`, `diff`, `serve`, `push`, and `top` subcommands\n"
+      "aggregate saved profiles fleet-wide: merge unions compressed\n"
+      "traces, diff prints per-region deltas, serve exposes ingest/report\n"
+      "HTTP endpoints, push uploads profiles to a serve endpoint with\n"
+      "retries and idempotency keys, top live-renders a serve endpoint's\n"
+      "/metrics; see each subcommand's --help.\n"
       "KREMLIN_LOG=error|warn|info|debug selects diagnostic verbosity.\n"
       "KREMLIN_FAULT=alloc:<p>|trace_corrupt|stage:<name>|bench_throw:<p>|\n"
       "ingest:<p>|store_write:<p>|shed:<p> (comma-combined,\n"
@@ -513,6 +514,9 @@ int main(int argc, char **argv) {
         std::vector<std::string>(argv + 2, argv + argc));
   if (argc > 1 && std::strcmp(argv[1], "push") == 0)
     return aggregate::pushMain(
+        std::vector<std::string>(argv + 2, argv + argc));
+  if (argc > 1 && std::strcmp(argv[1], "top") == 0)
+    return aggregate::topMain(
         std::vector<std::string>(argv + 2, argv + argc));
 
   // `kremlin stats ...` runs the same pipeline but renders the telemetry

@@ -1,0 +1,141 @@
+//===- support/AccessLog.cpp - Bounded JSON-lines access log --------------===//
+//
+// Part of the Kremlin reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AccessLog.h"
+
+#include "support/Telemetry.h"
+
+#include <cstdio>
+
+namespace tel = kremlin::telemetry;
+
+namespace kremlin {
+
+namespace {
+
+FILE *asFile(void *P) { return static_cast<FILE *>(P); }
+
+// Minimal JSON string quoting; access-log fields are ASCII (methods, paths,
+// hex ids) but a hostile request target can still carry anything.
+std::string jsonQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+Expected<std::unique_ptr<AccessLog>> AccessLog::open(std::string Path,
+                                                     size_t FlushBytes) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Status::error(ErrorCode::IoError,
+                         "cannot open access log '" + Path + "'");
+  auto Log = std::unique_ptr<AccessLog>(new AccessLog());
+  Log->Path = std::move(Path);
+  Log->File = F;
+  Log->FlushBytes = FlushBytes == 0 ? 1 : FlushBytes;
+  Log->Buf.reserve(Log->FlushBytes + 512);
+  return Log;
+}
+
+AccessLog::~AccessLog() { (void)close(); }
+
+void AccessLog::append(const AccessLogEntry &E) {
+  std::string Line;
+  Line.reserve(256);
+  Line += "{\"ts_us\": ";
+  Line += std::to_string(tel::nowUs());
+  Line += ", \"trace_id\": ";
+  Line += jsonQuote(E.TraceId);
+  Line += ", \"method\": ";
+  Line += jsonQuote(E.Method);
+  Line += ", \"path\": ";
+  Line += jsonQuote(E.Path);
+  Line += ", \"status\": ";
+  Line += std::to_string(E.Status);
+  Line += ", \"bytes_in\": ";
+  Line += std::to_string(E.BytesIn);
+  Line += ", \"bytes_out\": ";
+  Line += std::to_string(E.BytesOut);
+  char MsBuf[64];
+  std::snprintf(MsBuf, sizeof(MsBuf), ", \"queue_wait_ms\": %.3f",
+                static_cast<double>(E.QueueWaitUs) / 1000.0);
+  Line += MsBuf;
+  std::snprintf(MsBuf, sizeof(MsBuf), ", \"handler_ms\": %.3f",
+                static_cast<double>(E.HandlerUs) / 1000.0);
+  Line += MsBuf;
+  Line += ", \"dedup\": ";
+  Line += jsonQuote(E.Dedup);
+  Line += "}\n";
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Closed)
+    return;
+  Buf += Line;
+  tel::Registry::global().counter("serve.access_log.lines").add(1);
+  flushLocked(/*Force=*/false);
+}
+
+void AccessLog::flushLocked(bool Force) {
+  if (Buf.empty() || (!Force && Buf.size() < FlushBytes))
+    return;
+  size_t Written = std::fwrite(Buf.data(), 1, Buf.size(), asFile(File));
+  if (Written != Buf.size()) {
+    tel::Registry::global().counter("serve.access_log.write_errors").add(1);
+    if (CloseStatus.ok())
+      CloseStatus = Status::error(ErrorCode::IoError,
+                                  "short write to access log '" + Path + "'");
+  } else {
+    tel::Registry::global().counter("serve.access_log.flushes").add(1);
+    tel::Registry::global().counter("serve.access_log.bytes").add(Written);
+  }
+  Buf.clear();
+}
+
+Status AccessLog::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Closed)
+    return CloseStatus;
+  flushLocked(/*Force=*/true);
+  if (std::fclose(asFile(File)) != 0 && CloseStatus.ok())
+    CloseStatus = Status::error(ErrorCode::IoError,
+                                "cannot close access log '" + Path + "'");
+  File = nullptr;
+  Closed = true;
+  return CloseStatus;
+}
+
+} // namespace kremlin

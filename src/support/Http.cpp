@@ -52,6 +52,24 @@ unsigned ClientResponse::retryAfterSec() const {
   return V ? static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 10)) : 0;
 }
 
+tel::TraceContext http::requestTraceContext(const Request &Req) {
+  // Transport already resolved it (server path re-entering via handler
+  // helpers, or a test that pre-filled the fields).
+  if (!Req.TraceId.empty())
+    return {Req.TraceId, Req.ParentSpanId};
+  if (const std::string *TP = Req.header("traceparent")) {
+    tel::TraceContext Ctx;
+    if (tel::parseTraceparent(*TP, Ctx))
+      return Ctx;
+    // Malformed/oversized/garbage header: count it and serve the request
+    // under a fresh id — a bad client must not lose its own request.
+    tel::Registry::global().counter("http.traceparent_invalid").add();
+  }
+  tel::TraceContext Fresh = tel::mintTraceContext();
+  Fresh.SpanId.clear(); // No inbound parent span.
+  return Fresh;
+}
+
 std::string http::urlDecode(std::string_view Text) {
   std::string Out;
   Out.reserve(Text.size());
@@ -317,11 +335,15 @@ void Server::acceptLoop() {
       ::close(Fd);
       continue;
     }
-    Pool->submit([this, Fd] { handleConnection(Fd); });
+    uint64_t AcceptUs = tel::nowUs();
+    Pool->submit([this, Fd, AcceptUs] { handleConnection(Fd, AcceptUs); });
   }
 }
 
-void Server::handleConnection(int Fd) {
+void Server::handleConnection(int Fd, uint64_t AcceptUs) {
+  // Time spent between accept(2) and this worker picking the connection
+  // up — the queue-wait the service layer folds into request latency.
+  uint64_t QueueWaitUs = tel::nowUs() - AcceptUs;
   // Pair every admitted connection with exactly one Release, however the
   // handling ends (response, timeout, disconnect, handler exception).
   struct ReleaseGuard {
@@ -342,10 +364,16 @@ void Server::handleConnection(int Fd) {
   // A recv that fails with EAGAIN/EWOULDBLOCK hit the read deadline: the
   // client is stalling mid-request (slowloris or a dead peer). Answer 408
   // and reclaim the worker; a clean disconnect (recv == 0) stays silent.
-  auto TimedOut = [&Fd, this]() {
+  // TimeoutTraceId is filled once the head has parsed, so a mid-body 408
+  // still lands in the trace under the request's id.
+  std::string TimeoutTraceId;
+  auto TimedOut = [&Fd, &TimeoutTraceId, this]() {
     if (errno != EAGAIN && errno != EWOULDBLOCK)
       return false;
     tel::Registry::global().counter("http.timeouts").add();
+    if (!TimeoutTraceId.empty())
+      tel::instantEvent("http.timeout", "serve",
+                        {{"trace_id", TimeoutTraceId}});
     if (Opts.OnReadTimeout)
       Opts.OnReadTimeout();
     answer(Fd, Response::text(408, "request read deadline exceeded\n"));
@@ -389,6 +417,11 @@ void Server::handleConnection(int Fd) {
     return;
   }
   Request Req = Parsed.takeValue();
+  Req.QueueWaitUs = QueueWaitUs;
+  tel::TraceContext Ctx = requestTraceContext(Req);
+  Req.TraceId = Ctx.TraceId;
+  Req.ParentSpanId = Ctx.SpanId;
+  TimeoutTraceId = Req.TraceId;
 
   // Body: exactly Content-Length bytes, within the body budget.
   size_t BodyLen = 0;

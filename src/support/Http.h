@@ -30,6 +30,7 @@
 #define KREMLIN_SUPPORT_HTTP_H
 
 #include "support/Status.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
@@ -54,6 +55,18 @@ struct Request {
   std::vector<std::pair<std::string, std::string>> Headers;
   std::string Body;
 
+  /// Trace context for this request. The server fills these before the
+  /// handler runs: TraceId/ParentSpanId come from a well-formed inbound
+  /// `traceparent` header, otherwise a fresh trace id is minted (and
+  /// ParentSpanId stays empty). Malformed or oversized traceparent values
+  /// are counted (http.traceparent_invalid) and ignored — the request is
+  /// served under a fresh id, never refused.
+  std::string TraceId;       ///< 32 lowercase hex chars, always set.
+  std::string ParentSpanId;  ///< 16 hex chars when propagated, else empty.
+  /// Microseconds this connection waited between accept(2) and a worker
+  /// picking it up — the queue-wait component of request latency.
+  uint64_t QueueWaitUs = 0;
+
   /// Case-insensitive header lookup (names are stored lowercased);
   /// nullptr when absent.
   const std::string *header(std::string_view Name) const;
@@ -65,6 +78,12 @@ struct Request {
     return It == Query.end() ? Default : It->second;
   }
 };
+
+/// The trace context the service layer should handle \p Req under: the
+/// request's pre-filled TraceId/ParentSpanId when the transport set them,
+/// else parsed from a `traceparent` header, else freshly minted. Exposed so
+/// handler tests without sockets get the same behavior as the server path.
+telemetry::TraceContext requestTraceContext(const Request &Req);
 
 /// One response. The server adds Content-Length and Connection headers;
 /// anything in Headers (e.g. Retry-After) is emitted verbatim before them.
@@ -179,7 +198,9 @@ private:
   Server() = default;
 
   void acceptLoop();
-  void handleConnection(int Fd);
+  /// \p AcceptUs is the accept(2) timestamp; the gap to the worker picking
+  /// the connection up becomes Request::QueueWaitUs.
+  void handleConnection(int Fd, uint64_t AcceptUs);
 
   ServerOptions Opts;
   Handler Handle;

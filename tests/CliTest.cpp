@@ -478,6 +478,40 @@ TEST(Cli, StatsDiffToleratesNonFiniteMetrics) {
   std::remove(BPath.c_str());
 }
 
+TEST(Cli, StatsDiffRendersNaWhenBothSidesAreEmptyHistograms) {
+  // Two snapshots of a histogram that never saw a sample: every quantile
+  // is null on both sides, and the diff renders n/a rather than 0-vs-0.
+  std::string APath = scratchPath("cli_diff_empty_a.json");
+  std::string BPath = scratchPath("cli_diff_empty_b.json");
+  const char *Snapshot =
+      "{\"metrics\": {\"q.count\": 0, \"q.p50\": null, \"q.p99\": null}}";
+  ASSERT_TRUE(kremlin::writeStringToFile(APath, Snapshot));
+  ASSERT_TRUE(kremlin::writeStringToFile(BPath, Snapshot));
+  int Code = 0;
+  std::string Out = runTool("stats --diff " + APath + " " + BPath, Code);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("q.p50"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("n/a"), std::string::npos) << Out;
+  std::remove(APath.c_str());
+  std::remove(BPath.c_str());
+}
+
+TEST(Cli, TopUsageErrorsFailLoudly) {
+  int Code = 0;
+  std::string Out = runTool("top", Code);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Out.find("usage: kremlin top"), std::string::npos) << Out;
+
+  Out = runTool("top --bogus", Code);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Out.find("unknown option"), std::string::npos) << Out;
+
+  // An unreachable endpoint is a hard error, not a hang: --once against a
+  // port nothing listens on exits nonzero with the transport diagnostic.
+  Out = runTool("top --url=http://127.0.0.1:9 --once", Code);
+  EXPECT_NE(Code, 0);
+}
+
 TEST(Cli, MergeAndDiffSubcommands) {
   // The fleet workflow end to end: save two profiles, merge them (with a
   // speedscope export and a store record), then diff input vs merge.

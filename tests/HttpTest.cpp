@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 using namespace kremlin;
+namespace tel = kremlin::telemetry;
 
 namespace {
 
@@ -171,6 +172,90 @@ TEST(HttpServer, ClientSendsExtraHeaders) {
       {{"Idempotency-Key", "crc32-cafe-4"}});
   ASSERT_TRUE(R.ok()) << R.status().toString();
   EXPECT_EQ(R->Body, "crc32-cafe-4");
+}
+
+TEST(HttpServer, PropagatesTraceparentIntoRequest) {
+  http::ServerOptions Opts;
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [](const http::Request &Req) {
+        return http::Response::text(200, Req.TraceId + " " +
+                                             Req.ParentSpanId);
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  tel::TraceContext Ctx = tel::mintTraceContext();
+  Expected<http::ClientResponse> R = http::request(
+      "127.0.0.1", Srv.value()->port(), "GET", "/", "", "",
+      {{"traceparent", tel::formatTraceparent(Ctx)}});
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->Body, Ctx.TraceId + " " + Ctx.SpanId);
+}
+
+TEST(HttpServer, MalformedTraceparentGetsAFreshIdAndIsServed) {
+  uint64_t InvalidBefore =
+      tel::Registry::global().counter("http.traceparent_invalid").value();
+  http::ServerOptions Opts;
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [](const http::Request &Req) {
+        return http::Response::text(200, Req.TraceId + "|" +
+                                             Req.ParentSpanId);
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+
+  // Malformed and oversized headers: served 200 under a fresh 32-hex id
+  // with no inbound parent, never refused.
+  for (const std::string &Bad :
+       {std::string("not-a-traceparent"), std::string(8192, 'f')}) {
+    Expected<http::ClientResponse> R =
+        http::request("127.0.0.1", Srv.value()->port(), "GET", "/", "", "",
+                      {{"traceparent", Bad}});
+    ASSERT_TRUE(R.ok()) << R.status().toString();
+    EXPECT_EQ(R->Code, 200);
+    size_t Pipe = R->Body.find('|');
+    ASSERT_NE(Pipe, std::string::npos);
+    EXPECT_EQ(Pipe, 32u);                      // Fresh trace id.
+    EXPECT_EQ(R->Body.substr(Pipe + 1), ""); // No parent span.
+  }
+  EXPECT_EQ(
+      tel::Registry::global().counter("http.traceparent_invalid").value(),
+      InvalidBefore + 2);
+}
+
+TEST(HttpServer, RequestsCarryQueueWaitMicros) {
+  http::ServerOptions Opts;
+  Expected<std::unique_ptr<http::Server>> Srv =
+      http::Server::start(Opts, [](const http::Request &Req) {
+        // Queue wait was measured between accept and the worker; it is
+        // tiny here but must be a sane measured value, not uninitialized.
+        return http::Response::text(
+            200, Req.QueueWaitUs < 10'000'000 ? "sane" : "insane");
+      });
+  ASSERT_TRUE(Srv.ok()) << Srv.status().toString();
+  Expected<http::ClientResponse> R =
+      http::request("127.0.0.1", Srv.value()->port(), "GET", "/");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Body, "sane");
+}
+
+TEST(HttpRequestTraceContext, PrefersFieldsThenHeaderThenMints) {
+  http::Request Req;
+  // No fields, no header: freshly minted, no parent.
+  tel::TraceContext Minted = http::requestTraceContext(Req);
+  EXPECT_EQ(Minted.TraceId.size(), 32u);
+  EXPECT_TRUE(Minted.SpanId.empty());
+
+  // A well-formed header is adopted.
+  tel::TraceContext Sent = tel::mintTraceContext();
+  Req.Headers.emplace_back("traceparent", tel::formatTraceparent(Sent));
+  tel::TraceContext FromHeader = http::requestTraceContext(Req);
+  EXPECT_EQ(FromHeader.TraceId, Sent.TraceId);
+  EXPECT_EQ(FromHeader.SpanId, Sent.SpanId);
+
+  // Pre-filled fields win over the header (the transport already parsed).
+  Req.TraceId = std::string(32, 'a');
+  Req.ParentSpanId = std::string(16, 'b');
+  tel::TraceContext FromFields = http::requestTraceContext(Req);
+  EXPECT_EQ(FromFields.TraceId, Req.TraceId);
+  EXPECT_EQ(FromFields.SpanId, Req.ParentSpanId);
 }
 
 TEST(HttpServer, StalledClientGets408) {

@@ -18,6 +18,7 @@
 #include "gtest/gtest.h"
 
 #include <filesystem>
+#include <fstream>
 
 using namespace kremlin;
 using namespace kremlin::aggregate;
@@ -61,6 +62,21 @@ std::unique_ptr<ProfileService> makeService(ServiceOptions Opts = {}) {
 
 uint64_t count(const char *Name) {
   return tel::Registry::global().counter(Name).value();
+}
+
+/// Total sample count across every serve.latency.<endpoint>.<class>
+/// histogram — one side of the per-request histogram invariant.
+uint64_t latencyCountSum() {
+  uint64_t Sum = 0;
+  for (const auto &[Name, Value] : tel::Registry::global().snapshot())
+    if (Name.rfind("serve.latency.", 0) == 0 && Name.size() > 6 &&
+        Name.compare(Name.size() - 6, 6, ".count") == 0)
+      Sum += static_cast<uint64_t>(Value);
+  return Sum;
+}
+
+uint64_t queueWaitCount() {
+  return tel::Registry::global().histogram("serve.queue_wait_us").count();
 }
 
 TEST(Serve, IngestThenViewRoundTrip) {
@@ -362,6 +378,169 @@ TEST(Serve, ExtendedCounterEquationCoversShedAndTimeouts) {
                           (count("serve.timeouts") - To0));
   EXPECT_EQ(count("serve.shed") - Shed0, 2u);
   EXPECT_EQ(count("serve.timeouts") - To0, 1u);
+}
+
+TEST(Serve, QueueWaitAndLatencyHistogramsBalanceTheRequestCount) {
+  ServiceOptions Opts;
+  Opts.MaxQueue = 1;
+  std::unique_ptr<ProfileService> Svc = makeService(Opts);
+  ASSERT_TRUE(Svc);
+  uint64_t Req0 = count("serve.requests");
+  uint64_t Qw0 = queueWaitCount(), Lat0 = latencyCountSum();
+
+  // Every admission path must land exactly one queue-wait sample and one
+  // latency sample: handled requests, accept-thread sheds, transport
+  // timeouts, drill sheds, and the /metrics snapshot itself.
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+  Svc->handle(makeRequest("GET", "/profile"));                // miss, 200
+  Svc->handle(makeRequest("GET", "/healthz"));
+  Svc->handle(makeRequest("POST", "/ingest", {}, "garbage")); // 400
+  ASSERT_TRUE(Svc->admit());
+  EXPECT_FALSE(Svc->admit()); // queue full: shed before handle()
+  Svc->release();
+  ProfileService::noteTimeout();
+  ASSERT_TRUE(fault::configure("shed:1.0"));
+  Svc->handle(makeRequest("GET", "/profile")); // drill shed, 503
+  fault::reset();
+  Svc->handle(makeRequest("GET", "/metrics", {{"format", "bogus"}})); // 400
+  // The prometheus render counts itself *before* rendering, so the counts
+  // in the scraped text already include this request.
+  http::Response Prom = Svc->handle(
+      makeRequest("GET", "/metrics", {{"format", "prometheus"}}));
+  ASSERT_EQ(Prom.Code, 200);
+
+  uint64_t Requests = count("serve.requests") - Req0;
+  EXPECT_EQ(Requests, 9u);
+  EXPECT_EQ(queueWaitCount() - Qw0, Requests);
+  EXPECT_EQ(latencyCountSum() - Lat0, Requests);
+}
+
+TEST(Serve, HealthzReportsStoreStateAsJson) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+
+  http::Response R = Svc->handle(makeRequest("GET", "/healthz"));
+  ASSERT_EQ(R.Code, 200);
+  JsonValue Doc;
+  ASSERT_TRUE(JsonValue::parse(R.Body, Doc)) << R.Body;
+  EXPECT_TRUE(Doc.get("status"));
+  EXPECT_GE(Doc.getNumber("uptime_seconds"), 0.0);
+  EXPECT_EQ(Doc.getNumber("generation"),
+            static_cast<double>(Svc->generation()));
+  EXPECT_EQ(Doc.getNumber("profiles"), 1.0);
+  EXPECT_EQ(Doc.getNumber("schema"), static_cast<double>(TraceSchemaVersion));
+  EXPECT_GE(tel::Registry::global().gauge("serve.uptime_seconds").value(),
+            0.0);
+}
+
+TEST(Serve, MetricsFormatDispatch) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  Svc->handle(makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile())));
+
+  http::Response Prom = Svc->handle(
+      makeRequest("GET", "/metrics", {{"format", "prometheus"}}));
+  ASSERT_EQ(Prom.Code, 200);
+  EXPECT_NE(Prom.Body.find("# TYPE kremlin_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.Body.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+
+  http::Response Json = Svc->handle(
+      makeRequest("GET", "/metrics", {{"format", "json"}}));
+  ASSERT_EQ(Json.Code, 200);
+  JsonValue Doc;
+  ASSERT_TRUE(JsonValue::parse(Json.Body, Doc));
+  ASSERT_TRUE(Doc.get("metrics"));
+  EXPECT_GE(Doc.get("metrics")->getNumber("serve.requests"), 1.0);
+
+  // Unknown formats are client errors and do not count as metric serves.
+  uint64_t Met0 = count("serve.metrics"), Err0 = count("serve.errors");
+  http::Response Bad = Svc->handle(
+      makeRequest("GET", "/metrics", {{"format", "xml"}}));
+  EXPECT_EQ(Bad.Code, 400);
+  EXPECT_NE(Bad.Body.find("unknown metrics format"), std::string::npos);
+  EXPECT_EQ(count("serve.metrics"), Met0);
+  EXPECT_EQ(count("serve.errors"), Err0 + 1);
+}
+
+TEST(Serve, RequestSpansCarryTheTraceIdEvenWhenShed) {
+  std::unique_ptr<ProfileService> Svc = makeService();
+  ASSERT_TRUE(Svc);
+  bool WasEnabled = tel::traceEnabled();
+  tel::setTraceEnabled(true);
+  tel::takeTrace(); // Start from an empty window.
+
+  tel::TraceContext Ctx = tel::mintTraceContext();
+  http::Request Req = makeRequest("GET", "/profile");
+  Req.TraceId = Ctx.TraceId;
+  Req.ParentSpanId = Ctx.SpanId;
+  ASSERT_TRUE(fault::configure("shed:1.0"));
+  http::Response R = Svc->handle(Req);
+  fault::reset();
+  EXPECT_EQ(R.Code, 503);
+
+  std::vector<tel::TraceEvent> Events = tel::takeTrace();
+  tel::setTraceEnabled(WasEnabled);
+  bool SawRequestSpan = false;
+  for (const tel::TraceEvent &E : Events) {
+    if (E.Name != "serve.request")
+      continue;
+    std::string Trace, Status;
+    for (const auto &[K, V] : E.Args) {
+      if (K == "trace_id")
+        Trace = V;
+      if (K == "status")
+        Status = V;
+    }
+    EXPECT_EQ(Trace, Ctx.TraceId);
+    EXPECT_EQ(Status, "503");
+    SawRequestSpan = true;
+  }
+  EXPECT_TRUE(SawRequestSpan);
+}
+
+TEST(Serve, AccessLogRecordsRequestsWithDedupOutcomes) {
+  std::string Dir = ::testing::TempDir() + "/kremlin_serve_accesslog";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  ServiceOptions Opts;
+  Opts.AccessLogPath = Dir + "/access.log";
+
+  {
+    std::unique_ptr<ProfileService> Svc = makeService(Opts);
+    ASSERT_TRUE(Svc);
+    http::Request Keyed =
+        makeRequest("POST", "/ingest", {}, writeTrace(sampleProfile()));
+    Keyed.Headers.emplace_back("idempotency-key", "crc32-feedface-7");
+    ASSERT_EQ(Svc->handle(Keyed).Code, 200); // merged
+    ASSERT_EQ(Svc->handle(Keyed).Code, 200); // deduplicated
+    ASSERT_EQ(Svc->handle(makeRequest("GET", "/profile")).Code, 200);
+  } // Destroying the service flushes and closes the log.
+
+  std::ifstream In(Opts.AccessLogPath);
+  ASSERT_TRUE(In.is_open());
+  std::vector<std::string> Dedups;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    JsonValue Entry;
+    ASSERT_TRUE(JsonValue::parse(Line, Entry)) << Line;
+    const JsonValue *Trace = Entry.get("trace_id");
+    ASSERT_TRUE(Trace && Trace->isString());
+    EXPECT_EQ(Trace->asString().size(), 32u);
+    EXPECT_TRUE(Entry.get("method"));
+    EXPECT_TRUE(Entry.get("path"));
+    EXPECT_GE(Entry.getNumber("status"), 200.0);
+    EXPECT_GE(Entry.getNumber("handler_ms"), 0.0);
+    const JsonValue *Dedup = Entry.get("dedup");
+    ASSERT_TRUE(Dedup && Dedup->isString());
+    Dedups.push_back(Dedup->asString());
+  }
+  ASSERT_EQ(Dedups.size(), 3u);
+  EXPECT_EQ(Dedups[0], "merged");
+  EXPECT_EQ(Dedups[1], "deduplicated");
+  EXPECT_EQ(Dedups[2], "none");
+  std::filesystem::remove_all(Dir);
 }
 
 TEST(Serve, StorePersistsNamedIngestsAcrossRestarts) {

@@ -19,6 +19,7 @@
 #include "support/Http.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include "gtest/gtest.h"
 
@@ -38,6 +39,7 @@
 using namespace kremlin;
 using namespace kremlin::aggregate;
 namespace fs = std::filesystem;
+namespace tel = kremlin::telemetry;
 
 namespace {
 
@@ -242,18 +244,57 @@ TEST(StoreChaos, PushWithFaultsConvergesToOneCleanIngest) {
   unsigned TotalAttempts = 0, SleepCalls = 0;
   Opts.Sleep = [&SleepCalls](unsigned) { ++SleepCalls; }; // No real waiting.
 
+  // Trace the whole drill: client attempt spans and server request spans
+  // land in the same in-process ring, so one trace id must stitch every
+  // retry of a push to its server-side handling.
+  bool WasTracing = tel::traceEnabled();
+  tel::setTraceEnabled(true);
+  tel::takeTrace();
+
+  std::vector<std::pair<std::string, unsigned>> PushTraces; // (id, attempts)
   for (const std::string &Path : Files) {
     Expected<PushOutcome> Out = pushProfileFile(Path, Opts);
     ASSERT_TRUE(Out.ok()) << Out.status().toString();
     EXPECT_FALSE(Out->Deduplicated);
     TotalAttempts += Out->Attempts;
+    PushTraces.emplace_back(Out->TraceId, Out->Attempts);
   }
   // A retry of content that already landed is acknowledged, not re-merged.
   Expected<PushOutcome> Replay = pushProfileFile(Files[0], Opts);
   ASSERT_TRUE(Replay.ok()) << Replay.status().toString();
   EXPECT_TRUE(Replay->Deduplicated);
   TotalAttempts += Replay->Attempts;
+  PushTraces.emplace_back(Replay->TraceId, Replay->Attempts);
   fault::reset();
+
+  std::vector<tel::TraceEvent> Events = tel::takeTrace();
+  tel::setTraceEnabled(WasTracing);
+  // Each push minted one 32-hex trace id, distinct from its siblings.
+  for (unsigned I = 0; I < PushTraces.size(); ++I) {
+    ASSERT_EQ(PushTraces[I].first.size(), 32u);
+    for (unsigned J = I + 1; J < PushTraces.size(); ++J)
+      EXPECT_NE(PushTraces[I].first, PushTraces[J].first);
+  }
+  auto argValue = [](const tel::TraceEvent &E, const char *Key) {
+    for (const auto &[K, V] : E.Args)
+      if (K == Key)
+        return V;
+    return std::string();
+  };
+  for (const auto &[TraceId, Attempts] : PushTraces) {
+    unsigned AttemptSpans = 0, ServerSpans = 0;
+    for (const tel::TraceEvent &E : Events) {
+      if (argValue(E, "trace_id") != TraceId)
+        continue;
+      AttemptSpans += E.Name == "push.attempt";
+      ServerSpans += E.Name == "serve.request";
+    }
+    // Every client attempt — including the faulted ones — carries the one
+    // trace id, and the server saw at least the final successful attempt
+    // under that same id.
+    EXPECT_EQ(AttemptSpans, Attempts) << TraceId;
+    EXPECT_GE(ServerSpans, 1u) << TraceId;
+  }
 
   // The faults actually bit (the seed guarantees it), the retries absorbed
   // them (exactly one backoff sleep per retry), and not one profile merged
@@ -318,6 +359,22 @@ TEST(StoreChaos, CliPushRetriesAgainstFaultInjectedServer) {
   readFileToString(OutPath, Output);
   EXPECT_EQ(WEXITSTATUS(Rc), 0) << Output;
   EXPECT_NE(Output.find("pushed"), std::string::npos) << Output;
+  // The push announces the trace id that stitched its attempts together.
+  EXPECT_NE(Output.find("trace "), std::string::npos) << Output;
+
+  // `kremlin top --once` snapshots the live endpoint's metrics.
+  std::string TopPath = WorkDir + "/top.out";
+  std::string TopCmd = std::string(KREMLIN_TOOL_PATH) +
+                       " top --url=http://127.0.0.1:" + std::to_string(Port) +
+                       " --once > " + TopPath + " 2>&1";
+  int TopRc = std::system(TopCmd.c_str());
+  std::string TopOut;
+  readFileToString(TopPath, TopOut);
+  ASSERT_TRUE(WIFEXITED(TopRc));
+  EXPECT_EQ(WEXITSTATUS(TopRc), 0) << TopOut;
+  EXPECT_NE(TopOut.find("kremlin top:"), std::string::npos) << TopOut;
+  EXPECT_NE(TopOut.find("ingest"), std::string::npos) << TopOut;
+  EXPECT_NE(TopOut.find("queue wait:"), std::string::npos) << TopOut;
 
   // The push landed exactly once, durably.
   Expected<http::ClientResponse> Health =
